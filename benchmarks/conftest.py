@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+All table benchmarks share one :class:`~repro.analysis.TraceStore` at full
+scale (override with ``REPRO_BENCH_SCALE``), so the five workloads run
+their train and test inputs once per session.  Each benchmark writes its
+rendered table to ``results/`` so the regenerated rows can be compared
+with the paper's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import TraceStore
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def store() -> TraceStore:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return TraceStore(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Store one experiment's rendered output under results/."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,115 @@
+"""Ablation: arena blocking and document scale (§5.2).
+
+Two design choices the paper discusses but does not tabulate:
+
+* **Blocking.**  "The 64-kilobyte arena area was divided into 16 distinct
+  4-kilobyte arenas.  This blocking reduces the space consumed by
+  erroneously predicted long-lived objects that tie up the entire arena in
+  which they are allocated."  The sweep holds the 64 KB area fixed and
+  varies the split, measuring arena capture under a deliberately polluted
+  predictor.
+
+* **Scale.**  Table 8's GHOST win depends on allocation volume; this
+  sweep measures the arena/first-fit heap ratio as the ghost document
+  grows, showing the ratio falling toward the paper's crossover.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.simulate import simulate_arena, simulate_firstfit
+from repro.core.predictor import SitePredictor, train_site_predictor
+from repro.core.sites import FULL_CHAIN
+from repro.workloads.ghost import GhostWorkload
+
+from conftest import write_result
+
+#: (num_arenas, arena_size) splits of the fixed 64 KB arena area.
+BLOCKINGS = [(1, 65536), (4, 16384), (16, 4096), (64, 1024)]
+
+
+class PollutedPredictor(SitePredictor):
+    """A trained predictor plus deliberately mispredicted long-lived sites."""
+
+    def __init__(self, base: SitePredictor, extra_sites):
+        super().__init__(
+            base.sites | frozenset(extra_sites),
+            threshold=base.threshold,
+            chain_length=base.chain_length,
+            size_rounding=base.size_rounding,
+            program=base.program,
+        )
+
+
+def _polluted(store, program: str) -> SitePredictor:
+    """The self predictor plus the sites of some long-lived objects."""
+    trace = store.trace(store.programs[0] if program is None else program)
+    base = train_site_predictor(trace)
+    long_sites = set()
+    for obj_id in range(trace.total_objects):
+        if trace.lifetime_of(obj_id) >= base.threshold:
+            long_sites.add(base.key_for(trace.chain_of(obj_id),
+                                        trace.size_of(obj_id)))
+            if len(long_sites) >= 5:
+                break
+    return PollutedPredictor(base, long_sites)
+
+
+def test_blocking_sweep(benchmark, store, results_dir):
+    program = "espresso"
+    trace = store.trace(program)
+    predictor = _polluted(store, program)
+
+    def compute():
+        return [
+            simulate_arena(trace, predictor, num_arenas=n, arena_size=size)
+            for n, size in BLOCKINGS
+        ]
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [f"Arena blocking sweep ({program}, polluted predictor, "
+             "fixed 64 KB area)"]
+    lines.append("  split        arena-allocs%   arena-bytes%   max-heap(K)")
+    for (n, size), result in zip(BLOCKINGS, results):
+        lines.append(
+            f"  {n:3d} x {size // 1024:3d}K  {result.arena_alloc_pct:12.1f}"
+            f"  {result.arena_byte_pct:12.1f}  {result.max_heap_size // 1024:10d}"
+        )
+    write_result(results_dir, "ablation_arena_blocking.txt", "\n".join(lines))
+
+    # Finer blocking confines pollution: 16 arenas capture at least as
+    # much short-lived traffic as one monolithic arena, under pollution.
+    captures = [result.arena_alloc_pct for result in results]
+    assert captures[2] >= captures[0] - 1e-9
+    # Over-fine blocking (1 KB arenas) starts rejecting objects that no
+    # longer fit, so capture stops improving.
+    assert captures[3] <= captures[2] + 10
+
+
+def test_ghost_scale_trend(benchmark, store, results_dir):
+    def compute():
+        ratios = []
+        for scale in (0.5, 1.0, 2.0, 4.0):
+            trace = GhostWorkload.trace("test", scale=scale)
+            firstfit = simulate_firstfit(trace)
+            arena = simulate_arena(
+                trace, train_site_predictor(trace)
+            )
+            ratios.append(
+                (scale, trace.total_bytes,
+                 arena.max_heap_size / firstfit.max_heap_size)
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = ["Ghost arena/first-fit max-heap ratio vs document scale",
+             "  scale   total-bytes   arena/ff"]
+    for scale, total, ratio in ratios:
+        lines.append(f"  {scale:5.1f}  {total:12d}  {100 * ratio:8.1f}%")
+    write_result(results_dir, "ablation_ghost_scale.txt", "\n".join(lines))
+
+    # The ratio does not deteriorate with scale: the largest run is never
+    # the worst (the fixed 64 KB arena area amortizes as the heap grows,
+    # trending toward the paper's <100% crossover at its 90 MB scale).
+    assert ratios[-1][2] <= max(r for _, _, r in ratios[:-1]) + 1e-9

@@ -1,0 +1,40 @@
+"""Table 2: memory allocation behaviour of the test programs.
+
+Regenerates the per-program execution summary and checks the shape the
+paper's Table 2 shows: GHOST is the big-heap, few-objects program; every
+program makes a substantial fraction of its memory references to the heap.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table2
+from repro.analysis.report import render_table2
+
+from conftest import write_result
+
+
+def test_table2(benchmark, store, results_dir):
+    rows = benchmark.pedantic(table2, args=(store,), rounds=1, iterations=1)
+    write_result(results_dir, "table2.txt", render_table2(rows))
+
+    by_program = {row.program: row for row in rows}
+
+    # GHOST: the largest live heap by an order of magnitude...
+    ghost = by_program["ghost"]
+    others_max = max(
+        row.max_bytes for row in rows if row.program != "ghost"
+    )
+    assert ghost.max_bytes > 3 * others_max
+    # ...and the fewest objects (big objects, few of them).
+    assert ghost.total_objects == min(row.total_objects for row in rows)
+
+    # Allocation-intensive: every program's heap takes a large share of
+    # memory references (the paper's Heap Refs column is 47-80%).
+    for row in rows:
+        assert row.heap_ref_pct > 25
+
+    # Everybody allocates at least hundreds of kilobytes and thousands of
+    # objects at full scale.
+    for row in rows:
+        assert row.total_bytes > 100_000
+        assert row.total_objects > 1_000

@@ -1,0 +1,64 @@
+"""Per-site lifetime analysis: the data behind the predictor.
+
+Builds the per-site lifetime quantile histograms the paper collects
+(§4.1), then prints the highest-volume allocation sites of a workload
+with their quartiles and their short-lived verdict at the 32 KB
+threshold — a site-granularity version of Table 3 that shows exactly why
+site-based prediction works: most sites are uniformly short-lived, a few
+are uniformly long-lived, and the predictor just has to tell them apart.
+
+Run:  python examples/lifetime_analysis.py [workload] [top_n]
+"""
+
+import sys
+
+from repro import DEFAULT_THRESHOLD, build_profile
+from repro.workloads.registry import PROGRAM_ORDER, run_workload
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "perl"
+    top_n = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    if program not in PROGRAM_ORDER:
+        raise SystemExit(f"unknown workload {program!r}; have {PROGRAM_ORDER}")
+
+    trace = run_workload(program, "train")
+    profile = build_profile(trace, size_rounding=4)
+    print(f"{program}: {trace.total_objects} objects across "
+          f"{len(profile)} allocation sites\n")
+
+    ranked = sorted(profile.sites(), key=lambda kv: -kv[1].bytes)
+
+    header = (
+        f"{'site (last 3 callers, size)':44s} {'objs':>7s} {'bytes%':>7s} "
+        f"{'25%':>9s} {'median':>9s} {'75%':>9s} {'max':>10s}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+    for (chain, size), stats in ranked[:top_n]:
+        name = ">".join(chain[-3:]) + f" ({size}B)"
+        quartiles = stats.histogram.quantiles()
+        verdict = (
+            "short-lived"
+            if stats.all_short_lived(DEFAULT_THRESHOLD)
+            else "mixed/long"
+        )
+        print(
+            f"{name:44s} {stats.objects:7d} "
+            f"{100 * stats.bytes / profile.total_bytes:6.1f}% "
+            f"{quartiles[1]:9.0f} {quartiles[2]:9.0f} {quartiles[3]:9.0f} "
+            f"{stats.max_lifetime:10d}  {verdict}"
+        )
+
+    short = profile.short_lived_sites(DEFAULT_THRESHOLD)
+    short_bytes = sum(stats.bytes for stats in short.values())
+    print(
+        f"\n{len(short)}/{len(profile)} sites are uniformly short-lived at "
+        f"the 32 KB threshold,\ncovering "
+        f"{100 * short_bytes / profile.total_bytes:.1f}% of all bytes - "
+        "that coverage is Table 4's 'Predicted' column."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Profiling an ordinary Python program with zero instrumentation.
+
+The bundled workloads maintain their call chains explicitly (fast,
+deterministic).  For quick exploration of your own code there is
+:class:`repro.runtime.StackTracedHeap`: its ``malloc`` reads the call
+chain off the live interpreter stack, so plain functions — no decorators,
+no context managers — produce correctly attributed allocation sites.
+
+The example profiles a toy document builder twice and teaches the
+predictor's central sensitivity:
+
+1. **Naive version** — documents destined for the long-lived archive are
+   built by the *same functions* as the throwaway ones.  Every site mixes
+   lifetimes, the all-short-lived rule selects nothing, prediction
+   captures 0% (the paper's CFRAC pollution risk, §5.2).
+2. **Restructured version** — archive documents are built through a
+   distinct ``build_archive_entry`` call path.  The sites separate, and
+   prediction captures nearly everything the oracle could.
+
+Run:  python examples/zero_instrumentation.py
+"""
+
+import random
+
+from repro import evaluate, train_site_predictor
+from repro.runtime import StackTracedHeap
+
+
+class DocumentBuilder:
+    """A toy JSON-ish document builder over a stack-traced heap."""
+
+    def __init__(self, name, separate_archive_path):
+        self.heap = StackTracedHeap(name, stop_at="run")
+        self.separate_archive_path = separate_archive_path
+        self.archive = []
+
+    # -- allocation helpers (ordinary functions; chains are captured) --
+
+    def make_string(self, text):
+        return self.heap.malloc(16 + len(text), payload=text)
+
+    def make_pair(self, key, value):
+        return self.heap.malloc(32, payload=(key, value))
+
+    def make_object(self, rng, depth):
+        children = []
+        for _ in range(rng.randint(1, 4)):
+            key = self.make_string(f"k{rng.randint(0, 50)}")
+            if depth > 0 and rng.random() < 0.3:
+                value = self.make_object(rng, depth - 1)
+            else:
+                value = self.make_string(f"v{rng.randint(0, 1000)}")
+            children.append(self.make_pair(key, value))
+            self.heap.free(key)  # keys are copied into the pair
+        return self.heap.malloc(24 + 8 * len(children), payload=children)
+
+    def build_archive_entry(self, rng):
+        """The distinct call path that makes archive sites separable."""
+        return self.make_object(rng, depth=2)
+
+    def free_tree(self, node):
+        for pair in node.payload or []:
+            value = pair.payload[1]
+            if isinstance(value.payload, list):
+                self.free_tree(value)
+            else:
+                self.heap.free(value)
+            self.heap.free(pair)
+        self.heap.free(node)
+
+    def run(self, count=300, keep_every=25):
+        rng = random.Random(42)
+        for index in range(count):
+            if index % keep_every == 0:
+                if self.separate_archive_path:
+                    self.archive.append(self.build_archive_entry(rng))
+                else:
+                    self.archive.append(self.make_object(rng, depth=2))
+            else:
+                self.free_tree(self.make_object(rng, depth=2))
+        return self.heap.finish()
+
+
+def report(label, trace):
+    predictor = train_site_predictor(trace, threshold=8192)
+    score = evaluate(predictor, trace)
+    print(
+        f"  {label:14s} sites selected: {predictor.site_count:3d}   "
+        f"predicted: {score.predicted_pct:5.1f}%   "
+        f"(actually short-lived: {score.actual_pct:.1f}%)"
+    )
+
+
+def main():
+    print("document builder, 300 documents, 1 in 25 archived:\n")
+    naive = DocumentBuilder("docs-naive", separate_archive_path=False).run()
+    report("naive", naive)
+    split = DocumentBuilder("docs-split", separate_archive_path=True).run()
+    report("restructured", split)
+    print(
+        "\nthe naive build routes archive documents through the same "
+        "functions as\nthrowaway ones, so every site mixes lifetimes and "
+        "the conservative\nall-short-lived rule selects nothing; one "
+        "dedicated archive call path\nseparates the sites and recovers "
+        "the capture - the programmer-visible\nside of the paper's "
+        "CFRAC pollution discussion (§5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

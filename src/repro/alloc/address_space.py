@@ -1,0 +1,78 @@
+"""Simulated linear address space.
+
+The allocator simulators place blocks in an abstract byte-addressed space
+grown UNIX-style with :meth:`AddressSpace.sbrk`.  No data is stored at the
+addresses — what matters to the paper's measurements is *placement*:
+fragmentation, maximum break (Table 8's heap sizes), and block adjacency
+for coalescing.
+
+Growth happens in fixed increments (8 KB by default, a typical early-90s
+``malloc`` chunk) so maximum heap sizes come out quantized the way real
+``sbrk``-based allocators report them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressSpace", "DEFAULT_SBRK_INCREMENT"]
+
+#: Default sbrk growth granularity in bytes.
+DEFAULT_SBRK_INCREMENT = 8 * 1024
+
+
+class AddressSpace:
+    """A growable linear region of simulated memory.
+
+    Addresses start at ``base`` and grow upward.  ``brk`` is the current
+    program break; ``max_brk`` the high-water mark used for heap-size
+    measurements.
+    """
+
+    def __init__(self, base: int = 0, increment: int = DEFAULT_SBRK_INCREMENT):
+        if increment < 1:
+            raise ValueError(f"sbrk increment must be >= 1, got {increment}")
+        if base < 0:
+            raise ValueError(f"base must be non-negative, got {base}")
+        self.base = base
+        self.increment = increment
+        self._brk = base
+        self._max_brk = base
+
+    @property
+    def brk(self) -> int:
+        """Current program break (first address beyond the heap)."""
+        return self._brk
+
+    @property
+    def max_brk(self) -> int:
+        """Highest break ever reached."""
+        return self._max_brk
+
+    @property
+    def heap_size(self) -> int:
+        """Current heap extent in bytes."""
+        return self._brk - self.base
+
+    @property
+    def max_heap_size(self) -> int:
+        """Maximum heap extent ever reached, in bytes (Table 8's metric)."""
+        return self._max_brk - self.base
+
+    def sbrk(self, nbytes: int) -> int:
+        """Grow the heap by at least ``nbytes``; returns the old break.
+
+        The actual growth is ``nbytes`` rounded up to the configured
+        increment, mirroring how classic allocators request core from the
+        OS in chunks.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"sbrk size must be positive, got {nbytes}")
+        grown = ((nbytes + self.increment - 1) // self.increment) * self.increment
+        old = self._brk
+        self._brk += grown
+        if self._brk > self._max_brk:
+            self._max_brk = self._brk
+        return old
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` lies inside the currently grown heap."""
+        return self.base <= addr < self._brk

@@ -1,0 +1,253 @@
+"""Lifetime-predicting arena allocator.
+
+The paper's optimized allocator (§5.1), built on Hanson's fast
+object-lifetime arenas:
+
+* A fixed **arena area** — 64 KB by default, divided into 16 arenas of
+  4 KB — sits apart from the general heap.  Each arena holds only a bump
+  pointer (``alloc``) and a **live-object count**; arena objects carry *no*
+  per-object header.
+* At each allocation the site database (a trained
+  :class:`~repro.core.predictor.LifetimePredictor`) is consulted.
+  Predicted-short-lived objects are bump-allocated into the current arena.
+  When the current arena is full, every arena is scanned for one whose
+  count has dropped to zero (all its objects died); such an arena is reset
+  and reused.  If none exists — the arenas are *polluted* by mispredicted
+  long-lived objects — the object falls through to the general heap.
+* Freeing an arena object just decrements its arena's count; the space is
+  reclaimed wholesale when the count reaches zero.  Freeing anything else
+  goes to the general allocator (a
+  :class:`~repro.alloc.firstfit.FirstFitAllocator`, making first-fit "the
+  degenerate case of an arena allocator that allocates no objects in
+  arenas", §5.2).
+* Objects larger than an arena's capacity always use the general heap
+  (footnote 1 of the paper) — this is why GHOST's 6 KB short-lived objects
+  escape the 4 KB arenas in Table 7.
+
+Address-range dispatch distinguishes arena frees from general frees, just
+as the paper's runtime does ("the address of the object gives this
+information ... because arenas are contiguous and not part of the general
+allocation heap").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.alloc.base import Allocator, AllocatorError
+from repro.alloc.firstfit import FirstFitAllocator
+from repro.core.predictor import LifetimePredictor
+from repro.core.sites import CallChain
+
+__all__ = [
+    "Arena",
+    "ArenaAllocator",
+    "DEFAULT_ARENA_SIZE",
+    "DEFAULT_NUM_ARENAS",
+    "ARENA_ALIGNMENT",
+]
+
+#: The paper's configuration: a 64 KB arena area as 16 distinct 4 KB
+#: arenas, "twice the age of the objects predicted as short-lived" (§5.2).
+DEFAULT_ARENA_SIZE = 4 * 1024
+DEFAULT_NUM_ARENAS = 16
+
+#: Arena objects are pointer-aligned but headerless.
+ARENA_ALIGNMENT = 8
+
+
+class Arena:
+    """One fixed-size arena: a bump pointer and a live-object count."""
+
+    __slots__ = ("base", "size", "alloc", "count", "_live")
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self.alloc = base  # next free byte
+        self.count = 0  # live objects
+        self._live: Dict[int, int] = {}  # addr -> requested size
+
+    @property
+    def used(self) -> int:
+        """Bytes consumed so far (including alignment padding)."""
+        return self.alloc - self.base
+
+    @property
+    def free_space(self) -> int:
+        """Bytes still available for bump allocation."""
+        return self.base + self.size - self.alloc
+
+    def fits(self, size: int) -> bool:
+        """Whether a ``size``-byte object fits in the remaining space."""
+        return _aligned(size) <= self.free_space
+
+    def bump(self, size: int) -> int:
+        """Allocate ``size`` bytes; caller must have checked :meth:`fits`."""
+        addr = self.alloc
+        self.alloc += _aligned(size)
+        self.count += 1
+        self._live[addr] = size
+        return addr
+
+    def release(self, addr: int) -> int:
+        """Note the death of the object at ``addr``; returns its size."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise AllocatorError(f"free of unknown arena address {addr}")
+        if self.count <= 0:
+            raise AllocatorError(f"arena at {self.base}: count underflow")
+        self.count -= 1
+        return size
+
+    def reset(self) -> None:
+        """Recycle the arena; only legal once every object has died."""
+        if self.count != 0:
+            raise AllocatorError(
+                f"arena at {self.base} reset with {self.count} live objects"
+            )
+        self.alloc = self.base
+        self._live.clear()
+
+    @property
+    def live_bytes(self) -> int:
+        """Requested bytes of objects still live in this arena."""
+        return sum(self._live.values())
+
+
+def _aligned(size: int) -> int:
+    return ((size + ARENA_ALIGNMENT - 1) // ARENA_ALIGNMENT) * ARENA_ALIGNMENT
+
+
+class ArenaAllocator(Allocator):
+    """Two-strategy allocator: predicted-short-lived → arenas, rest → first-fit.
+
+    With ``predictor=None`` every object goes to the general heap, giving
+    the degenerate first-fit behaviour the paper uses as its baseline.
+    """
+
+    name = "arena"
+
+    def __init__(
+        self,
+        predictor: Optional[LifetimePredictor] = None,
+        num_arenas: int = DEFAULT_NUM_ARENAS,
+        arena_size: int = DEFAULT_ARENA_SIZE,
+        base: int = 0,
+    ):
+        super().__init__()
+        if num_arenas < 1:
+            raise AllocatorError(f"need at least one arena, got {num_arenas}")
+        if arena_size < ARENA_ALIGNMENT:
+            raise AllocatorError(f"arena size too small: {arena_size}")
+        self.predictor = predictor
+        self.arena_size = arena_size
+        self.arenas: List[Arena] = [
+            Arena(base + i * arena_size, arena_size) for i in range(num_arenas)
+        ]
+        self._arena_base = base
+        self._arena_limit = base + num_arenas * arena_size
+        self._current = 0
+        self._general = FirstFitAllocator(base=self._arena_limit)
+        # Table 7 accounting.
+        self.arena_bytes = 0
+        self.general_bytes = 0
+
+    @property
+    def general(self) -> FirstFitAllocator:
+        """The general-purpose allocator handling non-arena objects."""
+        return self._general
+
+    @property
+    def arena_area_size(self) -> int:
+        """Total bytes reserved for arenas (64 KB in the paper's setup)."""
+        return self._arena_limit - self._arena_base
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int, chain: Optional[CallChain] = None) -> int:
+        if size <= 0:
+            raise AllocatorError(f"allocation size must be positive, got {size}")
+        self.ops.allocs += 1
+        self.ops.bytes_requested += size
+        if self.predictor is not None and chain is not None:
+            self.ops.predictions += 1
+            if self.predictor.predicts_short_lived(chain, size):
+                self.ops.predicted_short += 1
+                addr = self._arena_malloc(size)
+                if addr is not None:
+                    self.ops.arena_allocs += 1
+                    self.arena_bytes += size
+                    return addr
+                self.ops.arena_overflows += 1
+        self.general_bytes += size
+        return self._general.malloc(size, chain)
+
+    def _arena_malloc(self, size: int) -> Optional[int]:
+        """Bump-allocate in the arenas; ``None`` when the object cannot fit.
+
+        Follows §5.1 exactly: try the current arena; on failure scan all
+        arenas for a zero count, reset and use the first one found; give up
+        (caller falls back to the general heap) when every arena still has
+        live objects.
+        """
+        if _aligned(size) > self.arena_size:
+            return None  # larger than any arena could ever hold
+        current = self.arenas[self._current]
+        if current.fits(size):
+            return current.bump(size)
+        for index, arena in enumerate(self.arenas):
+            self.ops.arenas_scanned += 1
+            if arena.count == 0:
+                arena.reset()
+                self.ops.arena_resets += 1
+                self._current = index
+                return arena.bump(size)
+        return None
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+
+    def free(self, addr: int) -> None:
+        self.ops.frees += 1
+        if self._arena_base <= addr < self._arena_limit:
+            index = (addr - self._arena_base) // self.arena_size
+            self.arenas[index].release(addr)
+            self.ops.arena_frees += 1
+        else:
+            self._general.free(addr)
+            self._general.ops.frees -= 1  # counted once, on this allocator
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def max_heap_size(self) -> int:
+        """General-heap high-water mark plus the whole arena area.
+
+        Matches Table 8's accounting: "the arena heap sizes include the
+        64-kilobyte arena area in the total".
+        """
+        return self.arena_area_size + self._general.max_heap_size
+
+    @property
+    def live_bytes(self) -> int:
+        return self._general.live_bytes + sum(
+            arena.live_bytes for arena in self.arenas
+        )
+
+    def check_invariants(self) -> None:
+        """Arena counts must match live objects; general heap must audit."""
+        for arena in self.arenas:
+            if arena.count != len(arena._live):
+                raise AllocatorError(
+                    f"arena at {arena.base}: count {arena.count} != "
+                    f"{len(arena._live)} live objects"
+                )
+            if arena.alloc > arena.base + arena.size:
+                raise AllocatorError(f"arena at {arena.base}: overflow")
+        self._general.check_invariants()

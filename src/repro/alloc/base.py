@@ -1,0 +1,111 @@
+"""Allocator simulator interface and operation statistics.
+
+Every allocator in :mod:`repro.alloc` is a *placement simulator*: it
+accepts the trace's allocation requests, decides where each object would
+live, and counts the work it performed.  Two kinds of results come out:
+
+* **space** — maximum heap size (the break high-water mark, Table 8) and
+  live/fragmentation accounting;
+* **work** — operation counters (blocks scanned, coalesces, arena sweeps,
+  predictions) that the cost model in :mod:`repro.alloc.costs` converts to
+  the instructions-per-operation numbers of Table 9.
+
+Addresses returned by ``malloc`` are simulated; callers must pass them back
+to ``free`` unchanged.  Misuse (double free, unknown address) raises
+:class:`AllocatorError` — the simulators validate their own bookkeeping so
+the test suite can assert heap integrity after every scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.sites import CallChain
+
+__all__ = ["Allocator", "AllocatorError", "OpCounts"]
+
+
+class AllocatorError(Exception):
+    """Raised on allocator misuse or internal invariant violation."""
+
+
+@dataclass
+class OpCounts:
+    """Work counters shared by all allocator simulators.
+
+    Not every field is meaningful for every allocator; each simulator
+    documents which it maintains.  The cost models read these counters —
+    they are the simulation analogue of the QP instruction profiles the
+    paper took of real allocator implementations.
+    """
+
+    allocs: int = 0
+    frees: int = 0
+    bytes_requested: int = 0
+    #: Free-list blocks examined across all allocations (first-fit search).
+    blocks_scanned: int = 0
+    #: Free blocks split to satisfy a smaller request.
+    splits: int = 0
+    #: Coalesce operations performed at free time (0, 1, or 2 per free).
+    coalesces: int = 0
+    #: Times the allocator had to grow the address space.
+    sbrks: int = 0
+    #: Arena allocator: objects bump-allocated in an arena.
+    arena_allocs: int = 0
+    #: Arena allocator: objects freed by count decrement.
+    arena_frees: int = 0
+    #: Arena allocator: arenas examined while hunting for an empty one.
+    arenas_scanned: int = 0
+    #: Arena allocator: arenas recycled after their count reached zero.
+    arena_resets: int = 0
+    #: Arena allocator: predicted-short-lived requests that fell through to
+    #: the general heap (arena full or object too large).
+    arena_overflows: int = 0
+    #: Lifetime predictions attempted (one per allocation when predicting).
+    predictions: int = 0
+    #: Predictions that answered "short-lived".
+    predicted_short: int = 0
+
+    def snapshot(self) -> "OpCounts":
+        """A copy of the current counters."""
+        return OpCounts(**vars(self))
+
+
+class Allocator:
+    """Common interface of the allocator simulators.
+
+    ``malloc`` takes the allocation's call chain so that predicting
+    allocators can consult their site database; non-predicting allocators
+    ignore it.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ops = OpCounts()
+
+    def malloc(self, size: int, chain: Optional[CallChain] = None) -> int:
+        """Allocate ``size`` bytes; returns the simulated address."""
+        raise NotImplementedError
+
+    def free(self, addr: int) -> None:
+        """Release the object at ``addr``."""
+        raise NotImplementedError
+
+    @property
+    def max_heap_size(self) -> int:
+        """Maximum total heap extent reached, in bytes."""
+        raise NotImplementedError
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently handed out to the program (payload, not headers)."""
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        """Validate internal consistency; raises :class:`AllocatorError`.
+
+        Default is a no-op; simulators with non-trivial bookkeeping
+        override it, and the test suite calls it between scenario steps.
+        """

@@ -1,0 +1,113 @@
+"""4.3BSD-style power-of-two buddy-bucket allocator.
+
+The paper's CPU baseline in Table 9 is the classic Berkeley ``malloc``
+(Kingsley's caching allocator): requests are rounded up — including a
+small per-object header — to the next power of two, and each power-of-two
+class keeps its own LIFO free list.  Allocation pops the bucket's list (or
+carves a fresh page from ``sbrk`` when the bucket is empty); free pushes
+the object back.  Nothing is ever split, coalesced, or returned to the
+system, which makes both operations nearly constant-time but wastes up to
+half of every object's space — the classic speed-for-space trade.
+
+The simulator reproduces that placement policy exactly, so its operation
+counters (bucket pops, page carves) drive the cost model, and its break
+high-water mark shows the space cost next to first-fit's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.alloc.address_space import AddressSpace
+from repro.alloc.base import Allocator, AllocatorError
+from repro.core.sites import CallChain
+
+__all__ = ["BsdAllocator", "BSD_HEADER_SIZE", "MIN_BUCKET", "PAGE_SIZE"]
+
+#: Per-object header holding the bucket index (historic ``union overhead``).
+BSD_HEADER_SIZE = 4
+#: Smallest object class: 2^4 = 16 bytes, as in 4.3BSD on 32-bit machines.
+MIN_BUCKET = 4
+#: Page carved from the system per empty-bucket refill.
+PAGE_SIZE = 4096
+
+
+def bucket_for(size: int) -> int:
+    """Bucket index whose block size 2^index fits ``size`` plus header."""
+    if size <= 0:
+        raise AllocatorError(f"allocation size must be positive, got {size}")
+    need = size + BSD_HEADER_SIZE
+    bucket = MIN_BUCKET
+    while (1 << bucket) < need:
+        bucket += 1
+    return bucket
+
+
+class BsdAllocator(Allocator):
+    """Kingsley/4.3BSD power-of-two segregated free-list allocator."""
+
+    name = "bsd"
+
+    def __init__(self, base: int = 0):
+        super().__init__()
+        # BSD requests whole pages from the system; model that directly.
+        self.space = AddressSpace(base=base, increment=PAGE_SIZE)
+        self._free: Dict[int, List[int]] = {}  # bucket -> LIFO of addresses
+        self._allocated: Dict[int, int] = {}  # addr -> (bucket, req size)
+        self._req_sizes: Dict[int, int] = {}
+        self._live_bytes = 0
+
+    def malloc(self, size: int, chain: Optional[CallChain] = None) -> int:
+        self.ops.allocs += 1
+        self.ops.bytes_requested += size
+        bucket = bucket_for(size)
+        stack = self._free.setdefault(bucket, [])
+        if not stack:
+            self._refill(bucket)
+        addr = stack.pop()
+        self._allocated[addr] = bucket
+        self._req_sizes[addr] = size
+        self._live_bytes += size
+        return addr + BSD_HEADER_SIZE
+
+    def free(self, addr: int) -> None:
+        base_addr = addr - BSD_HEADER_SIZE
+        bucket = self._allocated.pop(base_addr, None)
+        if bucket is None:
+            raise AllocatorError(f"free of unknown address {addr}")
+        self.ops.frees += 1
+        self._live_bytes -= self._req_sizes.pop(base_addr)
+        self._free[bucket].append(base_addr)
+
+    def _refill(self, bucket: int) -> None:
+        """Carve a page (or one block, if larger) into bucket-size pieces."""
+        self.ops.sbrks += 1
+        block_size = 1 << bucket
+        chunk = max(block_size, PAGE_SIZE)
+        start = self.space.sbrk(chunk)
+        stack = self._free[bucket]
+        for addr in range(start, start + chunk, block_size):
+            stack.append(addr)
+
+    @property
+    def max_heap_size(self) -> int:
+        return self.space.max_heap_size
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    def check_invariants(self) -> None:
+        """Every block is either allocated or on exactly one free list."""
+        seen = set()
+        for bucket, stack in self._free.items():
+            block_size = 1 << bucket
+            for addr in stack:
+                if addr in seen:
+                    raise AllocatorError(f"block {addr} on a free list twice")
+                seen.add(addr)
+                if addr + block_size > self.space.brk:
+                    raise AllocatorError(f"free block {addr} beyond break")
+        for addr in self._allocated:
+            if addr in seen:
+                raise AllocatorError(f"block {addr} both free and allocated")

@@ -1,0 +1,102 @@
+"""Experiment orchestration: cached traces and trained predictors.
+
+Running a workload is the expensive step of every experiment, and most
+tables need the same executions, so a :class:`TraceStore` runs each
+(program, dataset) once per scale and caches the trace and any predictors
+trained from it.  The benchmarks, CLI, and examples all share one store
+per process.
+
+Following the paper's methodology note — "the performance results
+presented apply to the largest of the input sets in all cases" — every
+table evaluates on the ``test`` dataset; *self* prediction trains on that
+same execution, *true* prediction trains on ``train``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.cce import CCEPredictor, train_cce_predictor
+from repro.core.predictor import (
+    DEFAULT_THRESHOLD,
+    TRUE_PREDICTION_ROUNDING,
+    SitePredictor,
+    train_site_predictor,
+)
+from repro.core.sites import FULL_CHAIN
+from repro.runtime.events import Trace
+from repro.workloads.registry import PROGRAM_ORDER, run_workload
+
+__all__ = ["TraceStore", "EVAL_DATASET", "TRAIN_DATASET"]
+
+#: The dataset every table evaluates on (the paper's "largest input").
+EVAL_DATASET = "test"
+#: The dataset true prediction trains on.
+TRAIN_DATASET = "train"
+
+
+class TraceStore:
+    """Caches workload traces and trained predictors for one scale."""
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = scale
+        self._traces: Dict[Tuple[str, str], Trace] = {}
+        self._site_predictors: Dict[tuple, SitePredictor] = {}
+        self._cce_predictors: Dict[tuple, CCEPredictor] = {}
+
+    @property
+    def programs(self) -> list:
+        """The five programs in the paper's table order."""
+        return list(PROGRAM_ORDER)
+
+    def trace(self, program: str, dataset: str = EVAL_DATASET) -> Trace:
+        """The (cached) trace of one workload execution."""
+        key = (program, dataset)
+        if key not in self._traces:
+            self._traces[key] = run_workload(
+                program, dataset, scale=self.scale
+            )
+        return self._traces[key]
+
+    def predictor(
+        self,
+        program: str,
+        train_dataset: str = TRAIN_DATASET,
+        threshold: int = DEFAULT_THRESHOLD,
+        chain_length: Optional[int] = FULL_CHAIN,
+        size_rounding: int = TRUE_PREDICTION_ROUNDING,
+    ) -> SitePredictor:
+        """A (cached) site predictor trained on one execution."""
+        key = (program, train_dataset, threshold, chain_length, size_rounding)
+        if key not in self._site_predictors:
+            self._site_predictors[key] = train_site_predictor(
+                self.trace(program, train_dataset),
+                threshold=threshold,
+                chain_length=chain_length,
+                size_rounding=size_rounding,
+            )
+        return self._site_predictors[key]
+
+    def cce_predictor(
+        self,
+        program: str,
+        train_dataset: str = TRAIN_DATASET,
+        threshold: int = DEFAULT_THRESHOLD,
+    ) -> CCEPredictor:
+        """A (cached) call-chain-encryption predictor."""
+        key = (program, train_dataset, threshold)
+        if key not in self._cce_predictors:
+            self._cce_predictors[key] = train_cce_predictor(
+                self.trace(program, train_dataset), threshold=threshold
+            )
+        return self._cce_predictors[key]
+
+    def self_predictor(self, program: str, **kwargs) -> SitePredictor:
+        """A predictor trained on the evaluation execution itself."""
+        return self.predictor(program, train_dataset=EVAL_DATASET, **kwargs)
+
+    def warm(self) -> None:
+        """Run every program's train and test executions now."""
+        for program in PROGRAM_ORDER:
+            self.trace(program, TRAIN_DATASET)
+            self.trace(program, EVAL_DATASET)

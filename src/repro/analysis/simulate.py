@@ -1,0 +1,192 @@
+"""Trace-driven allocator simulation.
+
+The paper's §5.2 methodology: "we fed a trace of the program's allocation
+events and a list of short-lived sites into a simulator of the prediction
+algorithm.  The output of the simulator gives operation counts,
+information about the fraction of objects and bytes allocated in arenas,
+heap size, and fragmentation measurements."  This module is that
+simulator driver: it replays a trace's alloc/free event sequence against
+any of the allocator simulators and packages the measurements the tables
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.alloc.arena import (
+    DEFAULT_ARENA_SIZE,
+    DEFAULT_NUM_ARENAS,
+    ArenaAllocator,
+)
+from repro.alloc.base import Allocator, OpCounts
+from repro.alloc.bsd import BsdAllocator
+from repro.alloc.costs import (
+    DEFAULT_COST_MODEL,
+    AllocatorCost,
+    CostModel,
+    arena_cost,
+    bsd_cost,
+    firstfit_cost,
+)
+from repro.alloc.firstfit import FirstFitAllocator
+from repro.core.predictor import LifetimePredictor
+from repro.runtime.events import Trace
+
+__all__ = [
+    "SimulationResult",
+    "replay",
+    "simulate_firstfit",
+    "simulate_bsd",
+    "simulate_arena",
+]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measurements from replaying one trace against one allocator."""
+
+    allocator: str
+    program: str
+    dataset: str
+    max_heap_size: int
+    final_live_bytes: int
+    ops: OpCounts
+    cost: AllocatorCost
+    #: Arena-allocator extras (None for the baselines).
+    general_ops: Optional[OpCounts] = None
+    arena_allocs: int = 0
+    arena_bytes: int = 0
+    general_allocs: int = 0
+    general_bytes: int = 0
+    arena_area_size: int = 0
+
+    @property
+    def total_allocs(self) -> int:
+        """Allocations replayed."""
+        return self.ops.allocs
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes requested across the replay."""
+        return self.ops.bytes_requested
+
+    @property
+    def arena_alloc_pct(self) -> float:
+        """Percent of allocations served from arenas (Table 7)."""
+        return _pct(self.arena_allocs, self.total_allocs)
+
+    @property
+    def arena_byte_pct(self) -> float:
+        """Percent of bytes served from arenas (Table 7)."""
+        return _pct(self.arena_bytes, self.total_bytes)
+
+
+def replay(trace: Trace, allocator: Allocator,
+           check_invariants: bool = False) -> None:
+    """Drive ``allocator`` with the trace's event sequence.
+
+    With ``check_invariants`` the allocator is audited after every 4096
+    events — slow, used by the integration tests.
+    """
+    addresses = {}
+    step = 0
+    for code in trace.raw_arrays()["events"]:
+        tag = code & 3
+        if tag == 2:  # touch events carry no allocator work
+            continue
+        obj_id = code >> 2
+        if tag == 1:
+            allocator.free(addresses.pop(obj_id))
+        else:
+            addresses[obj_id] = allocator.malloc(
+                trace.size_of(obj_id), trace.chain_of(obj_id)
+            )
+        step += 1
+        if check_invariants and step % 4096 == 0:
+            allocator.check_invariants()
+    if check_invariants:
+        allocator.check_invariants()
+
+
+def simulate_firstfit(
+    trace: Trace, model: CostModel = DEFAULT_COST_MODEL
+) -> SimulationResult:
+    """Replay a trace against the Knuth first-fit baseline."""
+    allocator = FirstFitAllocator()
+    replay(trace, allocator)
+    return SimulationResult(
+        allocator="first-fit",
+        program=trace.program,
+        dataset=trace.dataset,
+        max_heap_size=allocator.max_heap_size,
+        final_live_bytes=allocator.live_bytes,
+        ops=allocator.ops.snapshot(),
+        cost=firstfit_cost(allocator.ops, model),
+    )
+
+
+def simulate_bsd(
+    trace: Trace, model: CostModel = DEFAULT_COST_MODEL
+) -> SimulationResult:
+    """Replay a trace against the BSD power-of-two baseline."""
+    allocator = BsdAllocator()
+    replay(trace, allocator)
+    return SimulationResult(
+        allocator="bsd",
+        program=trace.program,
+        dataset=trace.dataset,
+        max_heap_size=allocator.max_heap_size,
+        final_live_bytes=allocator.live_bytes,
+        ops=allocator.ops.snapshot(),
+        cost=bsd_cost(allocator.ops, model),
+    )
+
+
+def simulate_arena(
+    trace: Trace,
+    predictor: LifetimePredictor,
+    num_arenas: int = DEFAULT_NUM_ARENAS,
+    arena_size: int = DEFAULT_ARENA_SIZE,
+    strategy: str = "len4",
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> SimulationResult:
+    """Replay a trace against the lifetime-predicting arena allocator.
+
+    ``strategy`` picks the chain-identification cost model (``"len4"`` or
+    ``"cce"``); it does not change placement, matching the paper, where
+    both Table 9 arena columns describe the same allocation behaviour.
+    """
+    allocator = ArenaAllocator(
+        predictor, num_arenas=num_arenas, arena_size=arena_size
+    )
+    replay(trace, allocator)
+    cost = arena_cost(
+        allocator.ops,
+        allocator.general.ops,
+        strategy=strategy,
+        total_calls=trace.total_calls,
+        model=model,
+    )
+    return SimulationResult(
+        allocator=f"arena ({strategy})",
+        program=trace.program,
+        dataset=trace.dataset,
+        max_heap_size=allocator.max_heap_size,
+        final_live_bytes=allocator.live_bytes,
+        ops=allocator.ops.snapshot(),
+        cost=cost,
+        general_ops=allocator.general.ops.snapshot(),
+        arena_allocs=allocator.ops.arena_allocs,
+        arena_bytes=allocator.arena_bytes,
+        general_allocs=allocator.ops.allocs - allocator.ops.arena_allocs,
+        general_bytes=allocator.general_bytes,
+        arena_area_size=allocator.arena_area_size,
+    )
+
+
+def _pct(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator

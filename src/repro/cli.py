@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Mirrors the paper's workflow as subcommands::
+
+    repro-alloc trace gawk train -o gawk-train.json.gz
+    repro-alloc profile gawk-train.json.gz -o gawk.sites
+    repro-alloc predict gawk.sites gawk-test.json.gz
+    repro-alloc simulate gawk-test.json.gz --sites gawk.sites
+    repro-alloc quantiles gawk-test.json.gz
+    repro-alloc sites gawk-test.json.gz --top 10
+    repro-alloc table all
+
+``trace`` runs a workload and stores its allocation trace; ``profile``
+trains a short-lived site database from a trace; ``predict`` scores a
+database against a trace (Table 4's columns); ``simulate`` replays a
+trace against an allocator; ``table`` regenerates the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import TraceStore, simulate_arena, simulate_bsd, simulate_firstfit
+from repro.analysis import report as report_mod
+from repro.analysis.compare import diff_traces, render_diff
+from repro.analysis.inspect import lifetime_report, sites_report
+from repro.analysis import tables as tables_mod
+from repro.core.database import load_predictor, save_predictor
+from repro.core.predictor import (
+    DEFAULT_THRESHOLD,
+    TRUE_PREDICTION_ROUNDING,
+    evaluate,
+    train_site_predictor,
+)
+from repro.core.sites import FULL_CHAIN
+from repro.runtime.tracefile import load_trace, save_trace
+from repro.workloads.registry import PROGRAM_ORDER, run_workload
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-alloc",
+        description="Lifetime-predicting allocation (Barrett & Zorn, PLDI'93)",
+    )
+    sub = parser.add_subparsers(required=True, metavar="command")
+
+    trace = sub.add_parser("trace", help="run a workload, store its trace")
+    trace.add_argument("program", choices=PROGRAM_ORDER)
+    trace.add_argument("dataset", help="dataset name (train/test/...)")
+    trace.add_argument("-o", "--output", required=True,
+                       help="trace file (.json or .json.gz)")
+    trace.add_argument("--scale", type=float, default=1.0,
+                       help="input scale factor (default 1.0)")
+    trace.set_defaults(handler=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="train a short-lived site database from a trace"
+    )
+    profile.add_argument("trace", help="trace file from `trace`")
+    profile.add_argument("-o", "--output", required=True,
+                         help="site-database file")
+    profile.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                         help="short-lived cutoff in bytes (default 32768)")
+    profile.add_argument("--chain-length", type=int, default=0,
+                         help="sub-chain length; 0 = full chain (default)")
+    profile.add_argument("--rounding", type=int,
+                         default=TRUE_PREDICTION_ROUNDING,
+                         help="size rounding in bytes (default 4)")
+    profile.set_defaults(handler=_cmd_profile)
+
+    predict = sub.add_parser(
+        "predict", help="score a site database against a trace"
+    )
+    predict.add_argument("sites", help="site-database file from `profile`")
+    predict.add_argument("trace", help="trace file to score against")
+    predict.set_defaults(handler=_cmd_predict)
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a trace against an allocator"
+    )
+    simulate.add_argument("trace", help="trace file to replay")
+    simulate.add_argument("--allocator", default="arena",
+                          choices=["arena", "firstfit", "bsd"])
+    simulate.add_argument("--sites", help="site database (arena allocator)")
+    simulate.add_argument("--arenas", type=int, default=16,
+                          help="number of arenas (default 16)")
+    simulate.add_argument("--arena-size", type=int, default=4096,
+                          help="bytes per arena (default 4096)")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    quantiles = sub.add_parser(
+        "quantiles", help="lifetime quartiles of a stored trace"
+    )
+    quantiles.add_argument("trace", help="trace file to analyze")
+    quantiles.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                           help="short-lived cutoff in bytes (default 32768)")
+    quantiles.set_defaults(handler=_cmd_quantiles)
+
+    sites = sub.add_parser(
+        "sites", help="highest-volume allocation sites of a stored trace"
+    )
+    sites.add_argument("trace", help="trace file to analyze")
+    sites.add_argument("--top", type=int, default=15,
+                       help="how many sites to list (default 15)")
+    sites.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                       help="short-lived cutoff in bytes (default 32768)")
+    sites.set_defaults(handler=_cmd_sites)
+
+    diff = sub.add_parser(
+        "diff", help="attribute the self-vs-true prediction gap"
+    )
+    diff.add_argument("train", help="training trace file")
+    diff.add_argument("test", help="test trace file")
+    diff.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                      help="short-lived cutoff in bytes (default 32768)")
+    diff.add_argument("--top", type=int, default=10,
+                      help="unpredictable sites to list (default 10)")
+    diff.set_defaults(handler=_cmd_diff)
+
+    table = sub.add_parser("table", help="regenerate the paper's tables")
+    table.add_argument("which", help="table number 1-9, or 'all'")
+    table.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor (default 1.0)")
+    table.set_defaults(handler=_cmd_table)
+
+    return parser
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = run_workload(args.program, args.dataset, scale=args.scale)
+    save_trace(trace, args.output)
+    live = trace.live_stats()
+    print(
+        f"{args.program}/{args.dataset}: {trace.total_objects} objects, "
+        f"{trace.total_bytes} bytes, max live {live.max_live_bytes} bytes "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    chain_length = FULL_CHAIN if args.chain_length == 0 else args.chain_length
+    predictor = train_site_predictor(
+        trace,
+        threshold=args.threshold,
+        chain_length=chain_length,
+        size_rounding=args.rounding,
+    )
+    save_predictor(predictor, args.output)
+    print(
+        f"{trace.program}/{trace.dataset}: {predictor.site_count} "
+        f"short-lived sites (threshold {args.threshold}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    predictor = load_predictor(args.sites)
+    trace = load_trace(args.trace)
+    result = evaluate(predictor, trace)
+    print(f"program:            {trace.program}/{trace.dataset}")
+    print(f"total bytes:        {result.total_bytes}")
+    print(f"actual short-lived: {result.actual_pct:.1f}%")
+    print(f"predicted:          {result.predicted_pct:.1f}%")
+    print(f"error bytes:        {result.error_pct:.2f}%")
+    print(f"sites used:         {result.sites_used}/{result.total_sites}")
+    print(f"new heap refs:      {result.new_ref_pct:.1f}%")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if args.allocator == "firstfit":
+        result = simulate_firstfit(trace)
+    elif args.allocator == "bsd":
+        result = simulate_bsd(trace)
+    else:
+        if not args.sites:
+            raise ValueError("the arena allocator needs --sites")
+        predictor = load_predictor(args.sites)
+        result = simulate_arena(
+            trace, predictor,
+            num_arenas=args.arenas, arena_size=args.arena_size,
+        )
+    print(f"allocator:      {result.allocator}")
+    print(f"max heap size:  {result.max_heap_size} bytes")
+    print(f"instr/alloc:    {result.cost.per_alloc:.1f}")
+    print(f"instr/free:     {result.cost.per_free:.1f}")
+    if result.allocator.startswith("arena"):
+        print(f"arena allocs:   {result.arena_alloc_pct:.1f}%")
+        print(f"arena bytes:    {result.arena_byte_pct:.1f}%")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_traces(
+        load_trace(args.train), load_trace(args.test),
+        threshold=args.threshold,
+    )
+    print(render_diff(diff, top=args.top))
+    return 0
+
+
+def _cmd_quantiles(args: argparse.Namespace) -> int:
+    print(lifetime_report(load_trace(args.trace), threshold=args.threshold))
+    return 0
+
+
+def _cmd_sites(args: argparse.Namespace) -> int:
+    print(sites_report(load_trace(args.trace), top=args.top,
+                       threshold=args.threshold))
+    return 0
+
+
+_TABLES = {
+    "1": (tables_mod.table1, report_mod.render_table1),
+    "2": (tables_mod.table2, report_mod.render_table2),
+    "3": (tables_mod.table3, report_mod.render_table3),
+    "4": (tables_mod.table4, report_mod.render_table4),
+    "5": (tables_mod.table5, report_mod.render_table5),
+    "6": (tables_mod.table6, report_mod.render_table6),
+    "7": (tables_mod.table7, report_mod.render_table7),
+    "8": (tables_mod.table8, report_mod.render_table8),
+    "9": (tables_mod.table9, report_mod.render_table9),
+}
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    which = list(_TABLES) if args.which == "all" else [args.which]
+    for key in which:
+        if key not in _TABLES:
+            raise ValueError(f"no table {key!r} (have 1-9 or 'all')")
+    store = TraceStore(scale=args.scale)
+    for key in which:
+        compute, render = _TABLES[key]
+        print(render(compute(store)))
+        print()
+    return 0

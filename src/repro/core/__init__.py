@@ -1,0 +1,75 @@
+"""The paper's primary contribution: lifetime prediction from allocation sites.
+
+Submodules:
+
+* :mod:`repro.core.quantile` — P^2 streaming quantile histograms (Jain &
+  Chlamtac), used for per-site lifetime distributions.
+* :mod:`repro.core.sites` — call chains, recursion-cycle pruning, length-N
+  sub-chains, and the (chain, size) allocation-site abstraction.
+* :mod:`repro.core.profile` — trace → per-site lifetime statistics.
+* :mod:`repro.core.predictor` — trained short-lived predictors (site-based
+  and size-only), self/true prediction, and their evaluation.
+* :mod:`repro.core.cce` — the XOR call-chain-encryption encoding.
+* :mod:`repro.core.database` — predictor (site database) serialization.
+"""
+
+from repro.core.cce import CCEPredictor, collision_report, train_cce_predictor
+from repro.core.database import load_predictor, save_predictor
+from repro.core.predictor import (
+    DEFAULT_THRESHOLD,
+    LifetimePredictor,
+    PredictionEvaluation,
+    SitePredictor,
+    SizeOnlyPredictor,
+    actual_short_lived_bytes,
+    evaluate,
+    train_site_predictor,
+    train_size_only_predictor,
+)
+from repro.core.multiclass import (
+    MultiClassPredictor,
+    train_multiclass_predictor,
+)
+from repro.core.profile import SiteProfile, SiteStats, build_profile
+from repro.core.quantile import ExactQuantiles, P2Histogram, P2Quantile
+from repro.core.sites import (
+    FULL_CHAIN,
+    AllocationSite,
+    ChainTable,
+    prune_recursive_cycles,
+    round_size,
+    site_key,
+    sub_chain,
+)
+
+__all__ = [
+    "CCEPredictor",
+    "collision_report",
+    "train_cce_predictor",
+    "load_predictor",
+    "save_predictor",
+    "DEFAULT_THRESHOLD",
+    "LifetimePredictor",
+    "PredictionEvaluation",
+    "SitePredictor",
+    "SizeOnlyPredictor",
+    "actual_short_lived_bytes",
+    "evaluate",
+    "train_site_predictor",
+    "train_size_only_predictor",
+    "MultiClassPredictor",
+    "train_multiclass_predictor",
+    "SiteProfile",
+    "SiteStats",
+    "build_profile",
+    "ExactQuantiles",
+    "P2Histogram",
+    "P2Quantile",
+    "FULL_CHAIN",
+    "AllocationSite",
+    "ChainTable",
+    "prune_recursive_cycles",
+    "round_size",
+    "site_key",
+    "sub_chain",
+]

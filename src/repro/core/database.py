@@ -1,0 +1,112 @@
+"""Site database serialization.
+
+The paper's deployment story (§5.1): training runs produce "a set of
+allocation sites that predict only short-lived objects ... stored in a
+database that is incorporated into an allocation system that is then
+linked to the program".  This module is that database — trained predictors
+saved to and loaded from JSON files, so a training session and the
+optimized execution can be separate processes (as the CLI's ``profile``
+and ``simulate`` subcommands are).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.core.cce import CCEPredictor
+from repro.core.predictor import (
+    LifetimePredictor,
+    SitePredictor,
+    SizeOnlyPredictor,
+)
+
+__all__ = ["save_predictor", "load_predictor", "DatabaseFormatError"]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class DatabaseFormatError(Exception):
+    """Raised when a site-database file is malformed or unrecognized."""
+
+
+def save_predictor(predictor: LifetimePredictor, path: PathLike) -> None:
+    """Write a trained predictor to ``path`` as JSON."""
+    if not isinstance(predictor, (SitePredictor, SizeOnlyPredictor, CCEPredictor)):
+        raise TypeError(f"cannot serialize predictor type {type(predictor)!r}")
+    doc = {
+        "format": "repro-sites",
+        "version": FORMAT_VERSION,
+        "threshold": predictor.threshold,
+    }
+    if isinstance(predictor, SitePredictor):
+        doc["kind"] = "site"
+        doc["program"] = predictor.program
+        doc["chain_length"] = predictor.chain_length
+        doc["size_rounding"] = predictor.size_rounding
+        doc["sites"] = [
+            {"chain": list(chain), "size": size}
+            for chain, size in sorted(predictor.sites)
+        ]
+    elif isinstance(predictor, SizeOnlyPredictor):
+        doc["kind"] = "size-only"
+        doc["program"] = predictor.program
+        doc["sizes"] = sorted(predictor.sizes)
+    elif isinstance(predictor, CCEPredictor):
+        doc["kind"] = "cce"
+        doc["program"] = predictor.program
+        doc["size_rounding"] = predictor.size_rounding
+        doc["bits"] = predictor.bits
+        doc["keys"] = [[key, size] for key, size in sorted(predictor.keys)]
+    else:
+        raise TypeError(f"cannot serialize predictor type {type(predictor)!r}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def load_predictor(path: PathLike) -> LifetimePredictor:
+    """Read a predictor previously written by :func:`save_predictor`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise DatabaseFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-sites":
+        raise DatabaseFormatError(f"{path}: not a site-database file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise DatabaseFormatError(
+            f"{path}: unsupported version {doc.get('version')!r}"
+        )
+    kind = doc.get("kind")
+    try:
+        if kind == "site":
+            return SitePredictor(
+                frozenset(
+                    (tuple(entry["chain"]), entry["size"])
+                    for entry in doc["sites"]
+                ),
+                threshold=doc["threshold"],
+                chain_length=doc["chain_length"],
+                size_rounding=doc["size_rounding"],
+                program=doc["program"],
+            )
+        if kind == "size-only":
+            return SizeOnlyPredictor(
+                frozenset(doc["sizes"]),
+                threshold=doc["threshold"],
+                program=doc["program"],
+            )
+        if kind == "cce":
+            return CCEPredictor(
+                frozenset((key, size) for key, size in doc["keys"]),
+                threshold=doc["threshold"],
+                size_rounding=doc["size_rounding"],
+                bits=doc["bits"],
+                program=doc["program"],
+            )
+    except (KeyError, TypeError) as exc:
+        raise DatabaseFormatError(f"{path}: malformed database: {exc}") from exc
+    raise DatabaseFormatError(f"{path}: unknown predictor kind {kind!r}")

@@ -1,0 +1,341 @@
+"""Lifetime predictors and their evaluation.
+
+This is the paper's central contribution (§2, §4): given a training
+execution, select the allocation sites whose objects were *all* short-lived
+and predict, at allocation time, that new objects from those sites will be
+short-lived too.
+
+Three predictor families are provided, matching the paper's experiments:
+
+:class:`SitePredictor`
+    Keys on (call chain, size) at a configurable chain length and size
+    rounding — the paper's main predictor (Tables 4 and 6).
+
+:class:`SizeOnlyPredictor`
+    Keys on object size alone — the ablation of Table 5, which shows size
+    by itself predicts poorly.
+
+:class:`~repro.core.cce.CCEPredictor` (in :mod:`repro.core.cce`)
+    Keys on the XOR-encrypted call chain — the constant-overhead encoding
+    of §5.1.
+
+*Self prediction* trains and evaluates on the same trace; *true prediction*
+trains on one input's trace and evaluates on another's (§4).  For true
+prediction the paper rounds sizes to a multiple of four so sites map
+between runs; :func:`train_site_predictor` defaults match that.
+
+:func:`evaluate` scores any predictor against a trace, producing the
+columns of Tables 4-6: percentage of total bytes correctly predicted
+short-lived, percentage erroneously predicted (actually long-lived), sites
+used, and the fraction of heap references going to predicted objects (the
+New Ref column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.profile import SiteKey, SiteProfile, build_profile
+from repro.core.sites import FULL_CHAIN, CallChain, round_size, site_key
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.events import Trace
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "TRUE_PREDICTION_ROUNDING",
+    "LifetimePredictor",
+    "SitePredictor",
+    "SizeOnlyPredictor",
+    "train_site_predictor",
+    "train_size_only_predictor",
+    "actual_short_lived_bytes",
+    "PredictionEvaluation",
+    "evaluate",
+]
+
+#: The paper's definition of "short-lived": dead before 32 kilobytes of new
+#: data are allocated (§4.1).
+DEFAULT_THRESHOLD = 32 * 1024
+
+#: Size rounding used to map allocation sites between training and test
+#: runs (§4: "by rounding the object size to a multiple of four bytes ...
+#: corresponding sites were more likely to map correctly").
+TRUE_PREDICTION_ROUNDING = 4
+
+
+class LifetimePredictor:
+    """Interface shared by every predictor.
+
+    A predictor answers one question at allocation time: will the object
+    being born at ``(chain, size)`` be short-lived?  Implementations also
+    expose ``site_count`` (how many database entries back the prediction —
+    the Sites Used columns) and ``threshold`` (the short-lived cutoff they
+    were trained for).
+    """
+
+    threshold: int
+
+    def predicts_short_lived(self, chain: CallChain, size: int) -> bool:
+        """Whether an object born at ``(chain, size)`` is predicted short-lived."""
+        raise NotImplementedError
+
+    @property
+    def site_count(self) -> int:
+        """Number of predictor database entries (Sites Used)."""
+        raise NotImplementedError
+
+
+class SitePredictor(LifetimePredictor):
+    """Predicts short-lived objects from a database of allocation sites.
+
+    The database is the set of site keys — (sub-chain, rounded size) — whose
+    training objects all died under the threshold.  At allocation time the
+    incoming chain and size are abstracted to the same level and looked up;
+    this mirrors the hash-table lookup of the paper's runtime (§5.1).
+    """
+
+    def __init__(
+        self,
+        sites: FrozenSet[SiteKey],
+        threshold: int,
+        chain_length: Optional[int],
+        size_rounding: int,
+        program: str = "?",
+    ):
+        self.sites = sites
+        self.threshold = threshold
+        self.chain_length = chain_length
+        self.size_rounding = size_rounding
+        self.program = program
+
+    @property
+    def site_count(self) -> int:
+        return len(self.sites)
+
+    @property
+    def level(self) -> Tuple[Optional[int], int]:
+        """The (chain length, size rounding) the database was built at."""
+        return (self.chain_length, self.size_rounding)
+
+    def key_for(self, chain: CallChain, size: int) -> SiteKey:
+        """Abstract an allocation's (chain, size) to this predictor's level."""
+        return site_key(
+            chain, size, length=self.chain_length, size_rounding=self.size_rounding
+        )
+
+    def predicts_short_lived(self, chain: CallChain, size: int) -> bool:
+        return self.key_for(chain, size) in self.sites
+
+    def restricted_to(self, profile: SiteProfile) -> "SitePredictor":
+        """The sub-database of sites that actually occur in ``profile``.
+
+        Used to report the paper's true-prediction Sites Used column, which
+        counts only the training sites that matched the test execution.
+        """
+        if profile.level != self.level:
+            raise ValueError(
+                f"profile level {profile.level} does not match "
+                f"predictor level {self.level}"
+            )
+        matched = frozenset(key for key in self.sites if key in profile)
+        return SitePredictor(
+            matched,
+            threshold=self.threshold,
+            chain_length=self.chain_length,
+            size_rounding=self.size_rounding,
+            program=self.program,
+        )
+
+
+class SizeOnlyPredictor(LifetimePredictor):
+    """Predicts short-lived objects from the requested size alone (Table 5)."""
+
+    def __init__(self, sizes: FrozenSet[int], threshold: int, program: str = "?"):
+        self.sizes = sizes
+        self.threshold = threshold
+        self.program = program
+
+    @property
+    def site_count(self) -> int:
+        return len(self.sizes)
+
+    def predicts_short_lived(self, chain: CallChain, size: int) -> bool:
+        return size in self.sizes
+
+
+def train_site_predictor(
+    trace: Trace,
+    threshold: int = DEFAULT_THRESHOLD,
+    chain_length: Optional[int] = FULL_CHAIN,
+    size_rounding: int = TRUE_PREDICTION_ROUNDING,
+) -> SitePredictor:
+    """Train a :class:`SitePredictor` from one execution's trace.
+
+    Selects every site, at the requested abstraction level, whose training
+    objects were all freed in under ``threshold`` bytes of allocation — the
+    paper's conservative all-short-lived rule, chosen because mispredicted
+    long-lived objects pollute arenas (§4.1, §5.2).
+    """
+    profile = build_profile(
+        trace, chain_length=chain_length, size_rounding=size_rounding
+    )
+    selected = frozenset(profile.short_lived_sites(threshold))
+    return SitePredictor(
+        selected,
+        threshold=threshold,
+        chain_length=chain_length,
+        size_rounding=size_rounding,
+        program=trace.program,
+    )
+
+
+def train_size_only_predictor(
+    trace: Trace, threshold: int = DEFAULT_THRESHOLD
+) -> SizeOnlyPredictor:
+    """Train a :class:`SizeOnlyPredictor`: sizes whose objects all died young."""
+    per_size: Dict[int, bool] = {}
+    for obj_id in range(trace.total_objects):
+        size = trace.size_of(obj_id)
+        short = trace.lifetime_of(obj_id) < threshold
+        per_size[size] = per_size.get(size, True) and short
+    selected = frozenset(size for size, short in per_size.items() if short)
+    return SizeOnlyPredictor(
+        selected, threshold=threshold, program=trace.program
+    )
+
+
+def actual_short_lived_bytes(trace: Trace, threshold: int) -> int:
+    """Bytes of objects that truly died under ``threshold`` — the oracle.
+
+    This is the per-object ground truth behind the Actual Short-lived Bytes
+    column: the most any site-based predictor could correctly capture.
+    """
+    total = 0
+    for obj_id in range(trace.total_objects):
+        if trace.lifetime_of(obj_id) < threshold:
+            total += trace.size_of(obj_id)
+    return total
+
+
+@dataclass(frozen=True)
+class PredictionEvaluation:
+    """Scoring of one predictor against one trace (columns of Tables 4-6)."""
+
+    program: str
+    dataset: str
+    threshold: int
+    total_sites: int
+    sites_used: int
+    total_bytes: int
+    actual_short_bytes: int
+    predicted_short_bytes: int  # correctly predicted short-lived
+    error_bytes: int  # predicted short-lived but actually long-lived
+    predicted_objects: int
+    total_heap_refs: int
+    predicted_heap_refs: int
+
+    @property
+    def actual_pct(self) -> float:
+        """Actual short-lived bytes as a percentage of total bytes."""
+        return _pct(self.actual_short_bytes, self.total_bytes)
+
+    @property
+    def predicted_pct(self) -> float:
+        """Correctly predicted short-lived bytes, % of total bytes."""
+        return _pct(self.predicted_short_bytes, self.total_bytes)
+
+    @property
+    def error_pct(self) -> float:
+        """Bytes wrongly predicted short-lived, % of total bytes."""
+        return _pct(self.error_bytes, self.total_bytes)
+
+    @property
+    def new_ref_pct(self) -> float:
+        """Heap references to predicted objects, % of all heap references.
+
+        The New Ref column of Table 6 — the fraction of heap references the
+        segregated arenas would localize.
+        """
+        return _pct(self.predicted_heap_refs, self.total_heap_refs)
+
+    @property
+    def coverage_of_actual(self) -> float:
+        """Correctly predicted bytes as a fraction of the oracle's bytes."""
+        if self.actual_short_bytes == 0:
+            return 0.0
+        return self.predicted_short_bytes / self.actual_short_bytes
+
+
+def evaluate(
+    predictor: LifetimePredictor,
+    trace: Trace,
+    count_matched_sites: bool = True,
+) -> PredictionEvaluation:
+    """Score ``predictor`` on ``trace``.
+
+    ``total_sites`` reports the number of distinct sites in the test trace
+    at the predictor's own abstraction level (for a size-only predictor,
+    the number of distinct sizes).  When ``count_matched_sites`` is true
+    and the predictor is site-based, the Sites Used column counts only the
+    database entries that matched some test allocation, matching how the
+    paper reports true prediction.
+    """
+    total_bytes = 0
+    predicted_short = 0
+    error_bytes = 0
+    predicted_objects = 0
+    predicted_refs = 0
+    matched_keys = set()
+    test_keys = set()
+    threshold = predictor.threshold
+    is_site_based = isinstance(predictor, SitePredictor)
+
+    for obj_id in range(trace.total_objects):
+        chain = trace.chain_of(obj_id)
+        size = trace.size_of(obj_id)
+        total_bytes += size
+        if is_site_based:
+            key = predictor.key_for(chain, size)  # type: ignore[attr-defined]
+            test_keys.add(key)
+            hit = key in predictor.sites  # type: ignore[attr-defined]
+            if hit:
+                matched_keys.add(key)
+        else:
+            test_keys.add(size)
+            hit = predictor.predicts_short_lived(chain, size)
+            if hit:
+                matched_keys.add(size)
+        if hit:
+            predicted_objects += 1
+            predicted_refs += trace.touches_of(obj_id)
+            if trace.lifetime_of(obj_id) < threshold:
+                predicted_short += size
+            else:
+                error_bytes += size
+
+    sites_used = (
+        len(matched_keys) if count_matched_sites else predictor.site_count
+    )
+    return PredictionEvaluation(
+        program=trace.program,
+        dataset=trace.dataset,
+        threshold=threshold,
+        total_sites=len(test_keys),
+        sites_used=sites_used,
+        total_bytes=total_bytes,
+        actual_short_bytes=actual_short_lived_bytes(trace, threshold),
+        predicted_short_bytes=predicted_short,
+        error_bytes=error_bytes,
+        predicted_objects=predicted_objects,
+        total_heap_refs=trace.heap_refs,
+        predicted_heap_refs=predicted_refs,
+    )
+
+
+def _pct(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator

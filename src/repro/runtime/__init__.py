@@ -1,0 +1,28 @@
+"""Traced allocation runtime — the reproduction's substitute for AE tracing.
+
+Workload programs allocate through a :class:`~repro.runtime.heap.TracedHeap`,
+which maintains the call chain, advances the byte-time clock, and records
+every birth/death into a :class:`~repro.runtime.events.Trace`.  Traces are
+serialized by :mod:`repro.runtime.tracefile`.
+"""
+
+from repro.runtime.events import LiveStats, ObjectView, Trace, TraceBuilder
+from repro.runtime.heap import HeapError, HeapObject, TracedHeap, traced
+from repro.runtime.stackcap import StackTracedHeap, capture_chain
+from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
+
+__all__ = [
+    "LiveStats",
+    "ObjectView",
+    "Trace",
+    "TraceBuilder",
+    "HeapError",
+    "HeapObject",
+    "TracedHeap",
+    "traced",
+    "StackTracedHeap",
+    "capture_chain",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,100 @@
+"""Trace serialization.
+
+Traces are written as (optionally gzipped) JSON with a small header, the
+interned chain table, the per-object parallel arrays, and the event
+sequence.  JSON keeps the format debuggable with standard tools; gzip keeps
+multi-hundred-thousand-event traces to a few megabytes.  The format is
+versioned so stored training traces survive library upgrades.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from array import array
+from typing import Union
+
+from repro.core.sites import ChainTable
+from repro.runtime.events import Trace
+
+__all__ = ["save_trace", "load_trace", "TraceFormatError", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 2
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file is malformed or from an unknown version."""
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path``; gzip-compress if the name ends ``.gz``."""
+    arrays = trace.raw_arrays()
+    doc = {
+        "format": "repro-trace",
+        "version": FORMAT_VERSION,
+        "program": trace.program,
+        "dataset": trace.dataset,
+        "total_calls": trace.total_calls,
+        "heap_refs": trace.heap_refs,
+        "non_heap_refs": trace.non_heap_refs,
+        "chains": [list(chain) for chain in trace.chains.to_list()],
+        "chain_ids": arrays["chain_ids"].tolist(),
+        "sizes": arrays["sizes"].tolist(),
+        "births": arrays["births"].tolist(),
+        "deaths": arrays["deaths"].tolist(),
+        "touches": arrays["touches"].tolist(),
+        "events": arrays["events"].tolist(),
+        "touch_counts": arrays["touch_counts"].tolist(),
+    }
+    data = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "wb") as fh:
+            fh.write(data)
+    else:
+        with open(path, "wb") as fh:
+            fh.write(data)
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "rb") as fh:
+            data = fh.read()
+    else:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    try:
+        doc = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-trace":
+        raise TraceFormatError(f"{path}: not a repro trace file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported trace version {doc.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    try:
+        chains = ChainTable.from_list(
+            [tuple(chain) for chain in doc["chains"]]
+        )
+        return Trace(
+            program=doc["program"],
+            dataset=doc["dataset"],
+            chains=chains,
+            chain_ids=array("i", doc["chain_ids"]),
+            sizes=array("q", doc["sizes"]),
+            births=array("q", doc["births"]),
+            deaths=array("q", doc["deaths"]),
+            touches=array("q", doc["touches"]),
+            events=array("q", doc["events"]),
+            touch_counts=array("q", doc.get("touch_counts", [])),
+            total_calls=doc["total_calls"],
+            heap_refs=doc["heap_refs"],
+            non_heap_refs=doc["non_heap_refs"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: malformed trace file: {exc}") from exc

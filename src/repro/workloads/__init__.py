@@ -1,0 +1,5 @@
+"""The five traced workload programs (see :mod:`repro.workloads.base`)."""
+
+from repro.workloads.base import DatasetSpec, Workload, WorkloadError
+
+__all__ = ["DatasetSpec", "Workload", "WorkloadError"]

@@ -1,0 +1,107 @@
+"""Workload framework.
+
+The paper measures five allocation-intensive C programs.  This package
+recreates each as a genuine mini-program in Python (see DESIGN.md §2 for
+the substitution argument): the programs really run their algorithms —
+factoring, logic minimization, AWK interpretation, PostScript
+interpretation, report extraction — and every dynamic object they create
+is allocated from a :class:`~repro.runtime.heap.TracedHeap`.
+
+Conventions every workload follows:
+
+* The workload is a class holding the heap as ``self.heap``; its functions
+  are methods decorated with :func:`~repro.runtime.heap.traced` so the
+  allocation-time call chain mirrors the program's real structure.
+* Allocation goes through one or more *wrapper layers* (an ``xalloc``
+  method modelled on the ubiquitous C ``xmalloc`` idiom).  This reproduces
+  the paper's observation that short call chains are poor predictors
+  because "until enough layers are resolved, the different actual
+  allocators of objects are indistinguishable" (§4).
+* Modelled object sizes follow C layout rules for the structures the
+  original program would use (struct headers plus payload), computed by
+  small ``sizeof``-style helpers on each workload.
+* Each workload publishes at least two datasets, ``train`` and ``test``,
+  whose relationship mimics the paper's input pairs (§4): GAWK runs the
+  same script on different data, PERL runs a *different program*, and so
+  on.  All inputs are generated deterministically (seeded) so runs are
+  reproducible without bundled data files.
+* ``scale`` multiplies input sizes so the test suite can run tiny
+  configurations while benchmarks run full ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.runtime.events import Trace
+from repro.runtime.heap import TracedHeap
+
+__all__ = ["Workload", "DatasetSpec", "WorkloadError"]
+
+
+class WorkloadError(Exception):
+    """Raised for unknown datasets or invalid workload parameters."""
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one input dataset of a workload."""
+
+    name: str
+    description: str
+    #: How this dataset relates to the others — used in EXPERIMENTS.md to
+    #: explain why true prediction is easy or hard for the program.
+    relation: str = ""
+
+
+class Workload:
+    """Base class for the five traced mini-programs.
+
+    Subclasses set :attr:`name`, :attr:`DATASETS`, and implement
+    :meth:`run`.  Instances are single-use, like the heap they wrap.
+    """
+
+    name: str = "abstract"
+    DATASETS: Dict[str, DatasetSpec] = {}
+
+    def __init__(self, heap: TracedHeap):
+        self.heap = heap
+
+    def run(self, dataset: str, scale: float = 1.0) -> None:
+        """Execute the program on ``dataset`` at the given input scale."""
+        raise NotImplementedError
+
+    @classmethod
+    def dataset_spec(cls, dataset: str) -> DatasetSpec:
+        """The spec for ``dataset``; raises :class:`WorkloadError` if unknown."""
+        try:
+            return cls.DATASETS[dataset]
+        except KeyError:
+            raise WorkloadError(
+                f"{cls.name}: unknown dataset {dataset!r} "
+                f"(have {sorted(cls.DATASETS)})"
+            ) from None
+
+    @classmethod
+    def trace(cls, dataset: str, scale: float = 1.0,
+              record_touches: bool = False) -> Trace:
+        """Run the workload on a fresh heap and return its trace.
+
+        ``record_touches`` additionally records every heap reference as a
+        timeline event (needed by the cache-locality experiments; roughly
+        doubles trace size).
+        """
+        cls.dataset_spec(dataset)
+        heap = TracedHeap(program=cls.name, dataset=dataset,
+                          record_touches=record_touches)
+        instance = cls(heap)
+        instance.run(dataset, scale=scale)
+        return heap.finish()
+
+    @classmethod
+    def train_test_pair(
+        cls, scale: float = 1.0
+    ) -> Tuple[Trace, Trace]:
+        """Traces of the ``train`` and ``test`` datasets, in that order."""
+        return cls.trace("train", scale=scale), cls.trace("test", scale=scale)

@@ -1,0 +1,6 @@
+"""The cfrac workload: continued-fraction integer factorization."""
+
+from repro.workloads.cfrac.bignum import BignumLib
+from repro.workloads.cfrac.cfrac import CfracWorkload
+
+__all__ = ["BignumLib", "CfracWorkload"]

@@ -1,0 +1,147 @@
+"""Traced arbitrary-precision arithmetic for the cfrac workload.
+
+The original CFRAC benchmark (Zorn & Grunwald's allocation suite) spends
+nearly all of its allocation on multi-precision integers: every arithmetic
+operation mallocs a result and most results die almost immediately.  This
+module recreates that behaviour.  Numeric values are computed with Python
+integers, but every bignum the C program would have malloc'd is allocated
+here as a traced heap object whose modelled size follows the classic
+limb-array layout::
+
+    struct bignum { int sign; int nlimbs; uint32 limbs[]; }  ->  8 + 4*nlimbs
+
+Arithmetic routines are layered the way the C library is layered —
+``operation -> bn_new -> xalloc -> malloc`` — so the allocation-site
+call chains have the depth structure the paper's Table 6 depends on
+(length-1 chains all end in ``xalloc`` and predict nothing).
+
+Callers own every bignum they receive and must :meth:`~BignumLib.free` it;
+the lifetimes observed by the tracer are the program's real ones, not an
+artifact of garbage collection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.runtime.heap import HeapObject, TracedHeap, traced
+
+__all__ = ["BignumLib", "BIGNUM_HEADER", "LIMB_BYTES"]
+
+#: Modelled ``struct bignum`` header: sign word + limb count.
+BIGNUM_HEADER = 8
+#: Limbs are 32-bit words.
+LIMB_BYTES = 4
+
+
+def _limbs(value: int) -> int:
+    """Number of 32-bit limbs needed to store ``value``'s magnitude."""
+    return max(1, (abs(value).bit_length() + 31) // 32)
+
+
+class BignumLib:
+    """Multi-precision integer library over a traced heap.
+
+    Each :class:`~repro.runtime.heap.HeapObject` produced here carries its
+    Python integer value as payload; ``size`` models the C allocation.
+    """
+
+    def __init__(self, heap: TracedHeap):
+        self.heap = heap
+
+    # ------------------------------------------------------------------
+    # Allocation layers (the xmalloc idiom)
+    # ------------------------------------------------------------------
+
+    @traced
+    def xalloc(self, size: int) -> HeapObject:
+        """Checked allocation wrapper — the C program's ``xmalloc``."""
+        return self.heap.malloc(size)
+
+    @traced
+    def bn_new(self, value: int) -> HeapObject:
+        """Allocate a bignum holding ``value``."""
+        obj = self.xalloc(BIGNUM_HEADER + LIMB_BYTES * _limbs(value))
+        obj.payload = value
+        # Writing the limbs touches the header and each limb word.
+        self.heap.touch(obj, 2 + 2 * _limbs(value))
+        return obj
+
+    def free(self, obj: HeapObject) -> None:
+        """Release a bignum."""
+        self.heap.free(obj)
+
+    def value(self, obj: HeapObject) -> int:
+        """Read a bignum's value (touches the header and each limb)."""
+        self.heap.touch(obj, 2 + 2 * _limbs(obj.payload))
+        return obj.payload
+
+    # ------------------------------------------------------------------
+    # Arithmetic (each returns freshly allocated results)
+    # ------------------------------------------------------------------
+
+    @traced
+    def add(self, a: HeapObject, b: HeapObject) -> HeapObject:
+        """``a + b`` as a new bignum."""
+        return self.bn_new(self.value(a) + self.value(b))
+
+    @traced
+    def sub(self, a: HeapObject, b: HeapObject) -> HeapObject:
+        """``a - b`` as a new bignum."""
+        return self.bn_new(self.value(a) - self.value(b))
+
+    @traced
+    def mul(self, a: HeapObject, b: HeapObject) -> HeapObject:
+        """``a * b`` as a new bignum."""
+        return self.bn_new(self.value(a) * self.value(b))
+
+    @traced
+    def mul_small(self, a: HeapObject, k: int) -> HeapObject:
+        """``a * k`` for a machine-word ``k``, as a new bignum."""
+        return self.bn_new(self.value(a) * k)
+
+    @traced
+    def divmod(self, a: HeapObject, b: HeapObject) -> Tuple[HeapObject, HeapObject]:
+        """``(a // b, a % b)`` as two new bignums."""
+        q, r = divmod(self.value(a), self.value(b))
+        return self.bn_new(q), self.bn_new(r)
+
+    @traced
+    def mod(self, a: HeapObject, b: HeapObject) -> HeapObject:
+        """``a % b`` as a new bignum."""
+        return self.bn_new(self.value(a) % self.value(b))
+
+    @traced
+    def mulmod(self, a: HeapObject, b: HeapObject, m: HeapObject) -> HeapObject:
+        """``a * b mod m`` as a new bignum (the CF recurrence workhorse)."""
+        return self.bn_new(self.value(a) * self.value(b) % self.value(m))
+
+    @traced
+    def gcd(self, a: HeapObject, b: HeapObject) -> HeapObject:
+        """``gcd(a, b)`` as a new bignum.
+
+        The Euclidean remainder sequence allocates (and promptly frees) one
+        temporary per step, as the C library's ``bn_gcd`` does.
+        """
+        x, y = abs(self.value(a)), abs(self.value(b))
+        while y:
+            tmp = self.bn_new(x % y)
+            x, y = y, self.value(tmp)
+            self.free(tmp)
+        return self.bn_new(x)
+
+    @traced
+    def isqrt(self, a: HeapObject) -> HeapObject:
+        """Integer square root as a new bignum."""
+        return self.bn_new(math.isqrt(self.value(a)))
+
+    @traced
+    def copy(self, a: HeapObject) -> HeapObject:
+        """A fresh bignum with the same value."""
+        return self.bn_new(self.value(a))
+
+    def is_zero(self, a: HeapObject) -> bool:
+        """Whether the bignum is zero (touches one limb)."""
+        self.heap.touch(a, 1)
+        return a.payload == 0

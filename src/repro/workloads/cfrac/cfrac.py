@@ -1,0 +1,507 @@
+"""CFRAC: integer factorization by continued fractions (Morrison-Brillhart).
+
+A working reimplementation of the paper's first benchmark program: factor
+products of two primes with the continued-fraction method.  The algorithm
+is the real one —
+
+1. expand the continued fraction of ``sqrt(k*N)``, generating the
+   convergent numerators ``A_i (mod N)`` and the small quadratic residues
+   ``Q_i`` with ``A_{i-1}^2 = (-1)^i Q_i (mod N)``;
+2. keep the expansions whose ``Q_i`` factor completely over a factor base
+   of small primes (a *smooth relation*);
+3. once there are more relations than factor-base primes, find a subset
+   whose exponent vectors sum to zero mod 2 by Gaussian elimination over
+   GF(2), giving ``X^2 = Y^2 (mod N)`` and usually a factor via
+   ``gcd(X - Y, N)``.
+
+Allocation behaviour mirrors the C benchmark: the continued-fraction
+recurrence and smoothness testing allocate a dozen short-lived bignums per
+step through :class:`~repro.workloads.cfrac.bignum.BignumLib`, while the
+factor base and the accumulated relations survive until the elimination
+phase — the extreme lifetime skew the paper observed in CFRAC ("while the
+vast majority of objects ... are very short-lived, some objects it
+allocates are extremely long-lived", §5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.heap import HeapObject, TracedHeap, traced
+from repro.workloads.base import DatasetSpec, Workload, WorkloadError
+from repro.workloads.cfrac.bignum import BignumLib
+from repro.workloads.inputs import semiprimes
+
+__all__ = ["CfracWorkload"]
+
+#: Trial-division bound for the factor base.
+FACTOR_BASE_BOUND = 1000
+#: Relations collected beyond the factor-base size before solving.
+EXTRA_RELATIONS = 10
+#: Continued-fraction steps tried per multiplier before giving up on it.
+MAX_STEPS_PER_MULTIPLIER = 20000
+#: Multipliers tried in order (square-free, as Morrison-Brillhart suggest).
+MULTIPLIERS = (1, 3, 5, 7, 11, 13)
+
+#: Modelled C sizes: a relation record and the factor-base array header.
+RELATION_STRUCT_SIZE = 24
+ARRAY_HEADER = 8
+
+#: Single-large-prime variation: non-smooth residues whose cofactor is a
+#: single prime below this bound are kept as *partial relations*; two
+#: partials sharing a large prime combine into a full relation.
+LARGE_PRIME_BOUND = FACTOR_BASE_BOUND ** 2
+
+
+class _EarlyFactor(Exception):
+    """Raised internally when a large prime turns out to divide n."""
+
+    def __init__(self, factor: int):
+        super().__init__(factor)
+        self.factor = factor
+
+
+class _Relation:
+    """Payload of one smooth relation: its A value and exponent vector."""
+
+    __slots__ = ("a_copy", "exps", "bitvec", "record")
+
+    def __init__(self, a_copy: HeapObject, exps: List[int], bitvec: HeapObject):
+        self.a_copy = a_copy
+        self.exps = exps
+        self.bitvec = bitvec
+        self.record: Optional[HeapObject] = None
+
+
+class CfracWorkload(Workload):
+    """The cfrac benchmark: factor semiprimes, tracing every allocation."""
+
+    name = "cfrac"
+    DATASETS = {
+        "train": DatasetSpec(
+            "train",
+            "ten 10-digit semiprimes (seed 101)",
+            relation="same program, different numbers of the same magnitude",
+        ),
+        "test": DatasetSpec(
+            "test",
+            "ten 10-digit semiprimes (seed 202)",
+            relation="same program, different numbers of the same magnitude",
+        ),
+        "tiny": DatasetSpec("tiny", "two 8-digit semiprimes, for tests"),
+    }
+
+    def __init__(self, heap: TracedHeap):
+        super().__init__(heap)
+        self.bn = BignumLib(heap)
+        #: Factors found, keyed by input; populated by :meth:`run`.
+        self.results: Dict[int, Optional[int]] = {}
+        #: Exit-time report records (record handle, value bignum); these
+        #: survive to program exit like the C program's result list.
+        self._retained: List[Tuple[HeapObject, HeapObject]] = []
+
+    def run(self, dataset: str, scale: float = 1.0) -> None:
+        self.dataset_spec(dataset)
+        if dataset == "tiny":
+            numbers = semiprimes(2, seed=33, digits=8)
+        else:
+            seed = 101 if dataset == "train" else 202
+            count = max(1, round(10 * scale))
+            numbers = semiprimes(count, seed=seed, digits=10)
+        for n in numbers:
+            factor = self.factor(n)
+            self.results[n] = factor
+            self.record_result(n, factor)
+
+    @traced
+    def record_result(self, n: int, factor: Optional[int]) -> None:
+        """Retain the factorization for the exit-time report.
+
+        The C program keeps every result until it prints them at exit;
+        these records are cfrac's only whole-run-lifetime allocations,
+        which is why its maximum object lifetime in Table 3 equals its
+        total allocation.
+        """
+        record = self.bn.xalloc(RELATION_STRUCT_SIZE)
+        record.payload = (n, factor)
+        self.heap.touch(record, 2)
+        value = self.bn.bn_new(factor if factor else n)
+        self._retained.append((record, value))
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    @traced
+    def factor(self, n: int) -> Optional[int]:
+        """Find a non-trivial factor of ``n``; ``None`` if the search fails."""
+        if n < 4:
+            raise WorkloadError(f"nothing to factor in {n}")
+        root = math.isqrt(n)
+        if root * root == n:
+            return root
+        n_bn = self.bn.bn_new(n)
+        try:
+            for k in MULTIPLIERS:
+                factor = self.try_multiplier(n_bn, k)
+                if factor is not None:
+                    return factor
+            return None
+        except _EarlyFactor as found:
+            return found.factor
+        finally:
+            self.bn.free(n_bn)
+
+    @traced
+    def try_multiplier(self, n_bn: HeapObject, k: int) -> Optional[int]:
+        """Run one continued-fraction expansion of ``sqrt(k * n)``."""
+        n = self.bn.value(n_bn)
+        primes, base_obj = self.build_factor_base(k * n)
+        try:
+            # Small primes dividing n are factors outright.
+            for p in primes:
+                if n % p == 0 and p < n:
+                    return p
+            relations = self.expand(n_bn, k, primes)
+            if relations is None:
+                return None
+            try:
+                return self.solve(n_bn, relations, primes)
+            finally:
+                self.free_relations(relations)
+        finally:
+            self.bn.free(base_obj)
+
+    # ------------------------------------------------------------------
+    # Factor base
+    # ------------------------------------------------------------------
+
+    @traced
+    def build_factor_base(self, m: int) -> Tuple[List[int], HeapObject]:
+        """Primes ``p <= bound`` over which ``m`` is a quadratic residue.
+
+        Returns the prime list and the (long-lived) traced array modelling
+        the C program's factor-base vector.
+        """
+        primes = [2]
+        for p in _odd_primes(FACTOR_BASE_BOUND):
+            if m % p == 0 or pow(m % p, (p - 1) // 2, p) == 1:
+                primes.append(p)
+        base_obj = self.bn.xalloc(ARRAY_HEADER + 4 * len(primes))
+        self.heap.touch(base_obj, len(primes))
+        return primes, base_obj
+
+    # ------------------------------------------------------------------
+    # Continued-fraction expansion
+    # ------------------------------------------------------------------
+
+    @traced
+    def expand(
+        self, n_bn: HeapObject, k: int, primes: List[int]
+    ) -> Optional[List[_Relation]]:
+        """Generate smooth relations from the expansion of ``sqrt(k*n)``.
+
+        Returns ``None`` when the expansion's period is exhausted or the
+        step budget runs out before enough relations appear.
+        """
+        bn = self.bn
+        n = bn.value(n_bn)
+        m = k * n
+        root = math.isqrt(m)
+        needed = len(primes) + 1 + EXTRA_RELATIONS
+
+        m_bn = bn.bn_new(m)
+        root_bn = bn.bn_new(root)
+        # CF state: P_i, Q_i as bignums; A_{i-1}, A_{i-2} mod n.
+        p_cur = bn.bn_new(0)
+        q_cur = bn.bn_new(1)
+        a_val = root  # a_0
+        a_prev2 = bn.bn_new(1)  # A_{-1}
+        a_prev = bn.bn_new(root % n)  # A_0
+
+        relations: List[_Relation] = []
+        partials: Dict[int, Tuple[HeapObject, List[int]]] = {}
+        try:
+            for step in range(1, MAX_STEPS_PER_MULTIPLIER + 1):
+                # P_{i} = a_{i-1} * Q_{i-1} - P_{i-1}
+                t1 = bn.mul_small(q_cur, a_val)
+                p_next = bn.sub(t1, p_cur)
+                bn.free(t1)
+                # Q_{i} = (m - P_i^2) / Q_{i-1}
+                t2 = bn.mul(p_next, p_next)
+                t3 = bn.sub(m_bn, t2)
+                q_next, rem = bn.divmod(t3, q_cur)
+                bn.free(t2)
+                bn.free(t3)
+                if not bn.is_zero(rem):
+                    raise WorkloadError("CF recurrence broke: non-zero remainder")
+                bn.free(rem)
+
+                q_value = bn.value(q_next)
+                if q_value == 1 and step > 1:
+                    # Period exhausted; this multiplier is done.
+                    bn.free(q_next)
+                    bn.free(p_next)
+                    return None if len(relations) < needed else relations
+
+                # a_i = (root + P_i) / Q_i
+                t4 = bn.add(root_bn, p_next)
+                a_bn, a_rem = bn.divmod(t4, q_next)
+                a_val = bn.value(a_bn)
+                bn.free(t4)
+                bn.free(a_rem)
+                bn.free(a_bn)
+
+                # Smoothness: A_{i-1}^2 = (-1)^i Q_i (mod n).
+                factored = self.smooth_factor(q_value, primes, sign=step % 2)
+                if factored is not None:
+                    exps, cofactor = factored
+                    if cofactor == 1:
+                        relations.append(
+                            self.make_relation(a_prev, exps, primes)
+                        )
+                    else:
+                        full = self.combine_partial(
+                            n_bn, partials, a_prev, exps, cofactor, primes
+                        )
+                        if full is not None:
+                            relations.append(full)
+                    if len(relations) >= needed:
+                        bn.free(q_next)
+                        bn.free(p_next)
+                        return relations
+
+                # A_i = (a_i * A_{i-1} + A_{i-2}) mod n
+                t5 = bn.mul_small(a_prev, a_val)
+                t6 = bn.add(t5, a_prev2)
+                a_next = bn.mod(t6, n_bn)
+                bn.free(t5)
+                bn.free(t6)
+
+                bn.free(a_prev2)
+                a_prev2, a_prev = a_prev, a_next
+                bn.free(p_cur)
+                bn.free(q_cur)
+                p_cur, q_cur = p_next, q_next
+            return None
+        finally:
+            for obj in (m_bn, root_bn, p_cur, q_cur, a_prev2, a_prev):
+                if not obj.freed:
+                    bn.free(obj)
+            for stored_a, _ in partials.values():
+                if not stored_a.freed:
+                    bn.free(stored_a)
+            # Relations are freed here only on failure paths that abandon
+            # them; successful returns hand ownership to the caller.
+            if len(relations) < len(primes) + 1 + EXTRA_RELATIONS:
+                self.free_relations(relations)
+
+    @traced
+    def smooth_factor(
+        self, q: int, primes: List[int], sign: int
+    ) -> Optional[Tuple[List[int], int]]:
+        """Factor ``q`` over the base; returns ``(exponents, cofactor)``.
+
+        The cofactor is 1 for a fully smooth residue, a single large prime
+        below :data:`LARGE_PRIME_BOUND` for a partial relation, and the
+        whole return is ``None`` when the residue is useless.  Successful
+        divisions allocate the quotient bignum the C library would
+        produce; failed divisibility tests are register-only, like the
+        word-sized top-limb test in the original.
+        """
+        bn = self.bn
+        exps = [sign]  # exponent of -1
+        remaining = q
+        for p in primes:
+            count = 0
+            while remaining % p == 0:
+                quotient = bn.bn_new(remaining // p)
+                remaining = bn.value(quotient)
+                bn.free(quotient)
+                count += 1
+            exps.append(count)
+        if remaining == 1:
+            return exps, 1
+        if remaining < LARGE_PRIME_BOUND:
+            # Trial division removed every prime below the bound's square
+            # root, so the cofactor is necessarily prime.
+            return exps, remaining
+        return None
+
+    @traced
+    def make_relation(
+        self, a_prev: HeapObject, exps: List[int], primes: List[int]
+    ) -> _Relation:
+        """Allocate the long-lived record of one smooth relation."""
+        bn = self.bn
+        a_copy = bn.copy(a_prev)
+        bitvec = bn.xalloc(ARRAY_HEADER + (len(primes) + 8) // 8)
+        bitvec.payload = _parity_mask(exps)
+        self.heap.touch(bitvec, (len(primes) + 31) // 32)
+        record = bn.xalloc(RELATION_STRUCT_SIZE)
+        record.payload = _Relation(a_copy, exps, bitvec)
+        # The record object itself is freed together with the relation; we
+        # return the payload and keep the handle inside it.
+        record.payload.record = record  # type: ignore[attr-defined]
+        return record.payload
+
+    @traced
+    def combine_partial(
+        self,
+        n_bn: HeapObject,
+        partials: Dict[int, Tuple[HeapObject, List[int]]],
+        a_prev: HeapObject,
+        exps: List[int],
+        large_prime: int,
+        primes: List[int],
+    ) -> Optional[_Relation]:
+        """Store a partial relation, or combine it with a stored partner.
+
+        Two partials sharing a large prime ``lp`` give
+        ``(A1 * A2 / lp)^2 = prod p^(e1+e2) (mod n)`` — a full relation.
+        The stored partial's A value is a medium-lived allocation: it
+        survives until its partner arrives or the expansion ends.
+        """
+        bn = self.bn
+        n = bn.value(n_bn)
+        if n % large_prime == 0 and large_prime < n:
+            raise _EarlyFactor(large_prime)
+        partner = partials.pop(large_prime, None)
+        if partner is None:
+            partials[large_prime] = (bn.copy(a_prev), list(exps))
+            return None
+        partner_a, partner_exps = partner
+        product = bn.mulmod(a_prev, partner_a, n_bn)
+        bn.free(partner_a)
+        inverse = bn.bn_new(pow(large_prime, -1, n))
+        combined_a = bn.mulmod(product, inverse, n_bn)
+        bn.free(product)
+        bn.free(inverse)
+        combined_exps = [a + b for a, b in zip(exps, partner_exps)]
+        relation = self.make_relation(combined_a, combined_exps, primes)
+        bn.free(combined_a)
+        return relation
+
+    def free_relations(self, relations: List[_Relation]) -> None:
+        """Release every object owned by ``relations``."""
+        for rel in relations:
+            if not rel.a_copy.freed:
+                self.bn.free(rel.a_copy)
+            if not rel.bitvec.freed:
+                self.bn.free(rel.bitvec)
+            record = getattr(rel, "record", None)
+            if record is not None and not record.freed:
+                self.bn.free(record)
+
+    # ------------------------------------------------------------------
+    # Linear algebra and the final congruence
+    # ------------------------------------------------------------------
+
+    @traced
+    def solve(
+        self,
+        n_bn: HeapObject,
+        relations: List[_Relation],
+        primes: List[int],
+    ) -> Optional[int]:
+        """Find dependencies over GF(2) and try each for a factor."""
+        for combo in self.dependencies(relations):
+            factor = self.try_congruence(n_bn, relations, primes, combo)
+            if factor is not None:
+                return factor
+        return None
+
+    @traced
+    def dependencies(self, relations: List[_Relation]) -> List[int]:
+        """Subsets (as bitmasks over relation indices) with even exponents.
+
+        Gaussian elimination over GF(2); each row read touches the
+        relation's stored bit vector.
+        """
+        pivot_by_bit: Dict[int, Tuple[int, int]] = {}
+        combos: List[int] = []
+        for index, rel in enumerate(relations):
+            self.heap.touch(rel.bitvec, 2)
+            mask = rel.bitvec.payload
+            combo = 1 << index
+            while mask:
+                low = mask & -mask
+                pivot = pivot_by_bit.get(low)
+                if pivot is None:
+                    pivot_by_bit[low] = (mask, combo)
+                    break
+                mask ^= pivot[0]
+                combo ^= pivot[1]
+            if mask == 0:
+                combos.append(combo)
+        return combos
+
+    @traced
+    def try_congruence(
+        self,
+        n_bn: HeapObject,
+        relations: List[_Relation],
+        primes: List[int],
+        combo: int,
+    ) -> Optional[int]:
+        """Build ``X^2 = Y^2 (mod n)`` from one dependency and test gcd."""
+        bn = self.bn
+        n = bn.value(n_bn)
+        chosen = [
+            rel for index, rel in enumerate(relations) if combo & (1 << index)
+        ]
+        if not chosen:
+            return None
+
+        x = bn.bn_new(1)
+        for rel in chosen:
+            nxt = bn.mulmod(x, rel.a_copy, n_bn)
+            bn.free(x)
+            x = nxt
+
+        # Sum exponents (index 0 is the sign, ignored in Y).
+        totals = [0] * (len(primes) + 1)
+        for rel in chosen:
+            for i, e in enumerate(rel.exps):
+                totals[i] += e
+        y = bn.bn_new(1)
+        for prime, total in zip(primes, totals[1:]):
+            if total % 2 != 0:
+                raise WorkloadError("dependency with odd exponent sum")
+            if total:
+                p_pow = bn.bn_new(pow(prime, total // 2, n))
+                nxt = bn.mulmod(y, p_pow, n_bn)
+                bn.free(p_pow)
+                bn.free(y)
+                y = nxt
+
+        diff = bn.sub(x, y)
+        g = bn.gcd(diff, n_bn)
+        factor = bn.value(g)
+        bn.free(diff)
+        bn.free(g)
+        bn.free(x)
+        bn.free(y)
+        if 1 < factor < n:
+            return factor
+        return None
+
+
+def _parity_mask(exps: List[int]) -> int:
+    """Bit ``i`` set when ``exps[i]`` is odd."""
+    mask = 0
+    for i, e in enumerate(exps):
+        if e & 1:
+            mask |= 1 << i
+    return mask
+
+
+def _odd_primes(bound: int) -> List[int]:
+    """Odd primes up to ``bound`` by sieve."""
+    sieve = bytearray([1]) * (bound + 1)
+    sieve[0:2] = b"\x00\x00"
+    for i in range(2, math.isqrt(bound) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = bytearray(len(sieve[i * i :: i]))
+    return [i for i in range(3, bound + 1) if sieve[i]]

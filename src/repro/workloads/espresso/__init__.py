@@ -1,0 +1,20 @@
+"""The espresso workload: a traced two-level logic minimizer."""
+
+from repro.workloads.espresso.algorithm import EspressoMinimizer, MinimizeResult
+from repro.workloads.espresso.pla import PlaError, PlaFile, format_pla, parse_pla
+from repro.workloads.espresso.cubes import Cover, Cube, CubeLib, CubeSpace
+from repro.workloads.espresso.workload import EspressoWorkload
+
+__all__ = [
+    "EspressoMinimizer",
+    "MinimizeResult",
+    "Cover",
+    "Cube",
+    "CubeLib",
+    "CubeSpace",
+    "PlaError",
+    "PlaFile",
+    "format_pla",
+    "parse_pla",
+    "EspressoWorkload",
+]

@@ -1,0 +1,148 @@
+"""Berkeley PLA file format, the interface of the real espresso.
+
+Espresso 2.3 reads and writes the Berkeley two-level PLA format: header
+directives (``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``), one product term
+per line (input plane over ``{0,1,-}`` plus output plane), and ``.e`` to
+end.  This module implements the single-output subset the reproduction's
+minimizer operates on, so real ``.pla`` files drive the traced workload
+and minimized covers can be written back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["PlaError", "PlaFile", "parse_pla", "format_pla"]
+
+
+class PlaError(Exception):
+    """Raised on malformed PLA input."""
+
+
+@dataclass
+class PlaFile:
+    """One parsed (single-output) PLA description."""
+
+    inputs: int
+    terms: List[str] = field(default_factory=list)
+    input_labels: Optional[List[str]] = None
+    output_label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for term in self.terms:
+            _check_term(term, self.inputs)
+        if self.input_labels is not None and len(self.input_labels) != self.inputs:
+            raise PlaError(
+                f"{len(self.input_labels)} input labels for "
+                f"{self.inputs} inputs"
+            )
+
+
+def _check_term(term: str, inputs: int) -> None:
+    if len(term) != inputs:
+        raise PlaError(
+            f"term {term!r} has {len(term)} columns, expected {inputs}"
+        )
+    bad = set(term) - {"0", "1", "-"}
+    if bad:
+        raise PlaError(f"term {term!r} contains {sorted(bad)}")
+
+
+def parse_pla(text: str) -> PlaFile:
+    """Parse a single-output PLA description.
+
+    Accepts the directives espresso's examples use; multi-output files
+    (``.o`` > 1) are rejected explicitly rather than mis-read.  Terms may
+    appear with or without an explicit output column; an output column of
+    ``0`` drops the term (it belongs to the off-set).
+    """
+    inputs: Optional[int] = None
+    declared_terms: Optional[int] = None
+    input_labels: Optional[List[str]] = None
+    output_label: Optional[str] = None
+    terms: List[str] = []
+    ended = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ended:
+            raise PlaError(f"line {lineno}: content after .e")
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                inputs = _int_arg(parts, lineno)
+            elif directive == ".o":
+                if _int_arg(parts, lineno) != 1:
+                    raise PlaError(
+                        f"line {lineno}: only single-output PLAs supported"
+                    )
+            elif directive == ".p":
+                declared_terms = _int_arg(parts, lineno)
+            elif directive == ".ilb":
+                input_labels = parts[1:]
+            elif directive == ".ob":
+                if len(parts) != 2:
+                    raise PlaError(f"line {lineno}: .ob needs one label")
+                output_label = parts[1]
+            elif directive == ".e" or directive == ".end":
+                ended = True
+            else:
+                raise PlaError(f"line {lineno}: unknown directive {directive}")
+            continue
+        if inputs is None:
+            raise PlaError(f"line {lineno}: term before .i declaration")
+        columns = line.split()
+        term = columns[0]
+        _check_term(term, inputs)
+        if len(columns) == 1:
+            terms.append(term)
+        elif len(columns) == 2:
+            if columns[1] not in ("0", "1", "-"):
+                raise PlaError(f"line {lineno}: bad output column {columns[1]!r}")
+            if columns[1] == "1":
+                terms.append(term)
+        else:
+            raise PlaError(f"line {lineno}: too many columns")
+
+    if inputs is None:
+        raise PlaError("missing .i declaration")
+    if declared_terms is not None and declared_terms != len(terms):
+        raise PlaError(
+            f".p declares {declared_terms} terms, file has {len(terms)}"
+        )
+    return PlaFile(
+        inputs=inputs,
+        terms=terms,
+        input_labels=input_labels,
+        output_label=output_label,
+    )
+
+
+def _int_arg(parts: List[str], lineno: int) -> int:
+    if len(parts) != 2:
+        raise PlaError(f"line {lineno}: {parts[0]} needs one argument")
+    try:
+        value = int(parts[1])
+    except ValueError:
+        raise PlaError(f"line {lineno}: bad number {parts[1]!r}") from None
+    if value < 1:
+        raise PlaError(f"line {lineno}: {parts[0]} must be positive")
+    return value
+
+
+def format_pla(pla: PlaFile) -> str:
+    """Render a :class:`PlaFile` back to Berkeley PLA text."""
+    lines = [f".i {pla.inputs}", ".o 1"]
+    if pla.input_labels:
+        lines.append(".ilb " + " ".join(pla.input_labels))
+    if pla.output_label:
+        lines.append(f".ob {pla.output_label}")
+    lines.append(f".p {len(pla.terms)}")
+    for term in pla.terms:
+        lines.append(f"{term} 1")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

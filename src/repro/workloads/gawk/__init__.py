@@ -1,0 +1,17 @@
+"""The gawk workload: a traced mini-AWK interpreter."""
+
+from repro.workloads.gawk.interp import AwkRuntimeError, Cell, Interp
+from repro.workloads.gawk.parser import AwkSyntaxError, Lexer, Node, Parser
+from repro.workloads.gawk.workload import FILL_SCRIPT, GawkWorkload
+
+__all__ = [
+    "AwkRuntimeError",
+    "Cell",
+    "Interp",
+    "AwkSyntaxError",
+    "Lexer",
+    "Node",
+    "Parser",
+    "FILL_SCRIPT",
+    "GawkWorkload",
+]

@@ -1,0 +1,537 @@
+"""Tree-walking interpreter for the mini-AWK language.
+
+Models gawk's runtime allocation behaviour: every value is a ``NODE``-sized
+traced cell, string values additionally own a traced character buffer, and
+the interpreter copies values on read and frees temporaries at statement
+boundaries — the reference-count-free analogue of gawk's temporary-node
+management.  The resulting churn of per-field strings and per-expression
+temporaries is what made GAWK the paper's most predictable program (99.3%
+of bytes short-lived from a handful of sites).
+
+Ownership discipline: :meth:`Interp.eval` always returns a cell the caller
+owns and must free (or store, transferring ownership).  Variables, array
+entries, and fields own their cells; assignment frees the previous value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.heap import HeapObject, TracedHeap, traced
+from repro.workloads.gawk.parser import (
+    NODE_SIZE,
+    AwkSyntaxError,
+    Lexer,
+    Node,
+    Parser,
+)
+from repro.workloads.regexlite import Regex, compile_pattern
+
+__all__ = ["Cell", "Interp", "AwkRuntimeError"]
+
+#: Modelled header of a gawk string buffer (length + refcount + pad).
+STRBUF_HEADER = 16
+#: Modelled size of an associative-array bucket node.
+BUCKET_SIZE = 24
+#: AWK output line width used by the formatting script.
+
+
+class AwkRuntimeError(Exception):
+    """Raised on runtime errors in the mini-AWK program."""
+
+
+class Cell:
+    """One AWK value: a traced NODE cell plus an optional string buffer."""
+
+    __slots__ = ("kind", "num", "text", "node", "buf")
+
+    def __init__(self, kind: str, num: float, text: str,
+                 node: HeapObject, buf: Optional[HeapObject]):
+        self.kind = kind  # "num" | "str" | "uninit"
+        self.num = num
+        self.text = text
+        self.node = node
+        self.buf = buf
+
+
+class Interp:
+    """Executes a parsed mini-AWK program over input records."""
+
+    def __init__(self, heap: TracedHeap):
+        self.heap = heap
+        self.globals: Dict[str, Cell] = {}
+        #: name -> key -> (bucket handle, value cell)
+        self.arrays: Dict[str, Dict[str, Tuple[HeapObject, Cell]]] = {}
+        self.fields: List[Cell] = []  # fields[0] is $0
+        self.rules: List[Node] = []
+        self.output: List[str] = []
+        self.regex_cache: Dict[str, Regex] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation layers
+    # ------------------------------------------------------------------
+
+    @traced
+    def xalloc(self, size: int) -> HeapObject:
+        """Checked allocation wrapper (gawk's ``emalloc``)."""
+        return self.heap.malloc(size)
+
+    @traced
+    def node_alloc(self) -> HeapObject:
+        """Allocate one NODE cell (gawk's ``newnode``)."""
+        return self.xalloc(NODE_SIZE)
+
+    @traced
+    def make_num(self, value: float) -> Cell:
+        """A fresh numeric cell."""
+        node = self.node_alloc()
+        self.heap.touch(node, 1)
+        return Cell("num", value, "", node, None)
+
+    @traced
+    def make_str(self, text: str) -> Cell:
+        """A fresh string cell owning a traced character buffer."""
+        node = self.node_alloc()
+        buf = self.xalloc(STRBUF_HEADER + max(1, len(text)))
+        self.heap.touch(buf, 2 + len(text) // 2)
+        return Cell("str", 0.0, text, node, buf)
+
+    @traced
+    def make_uninit(self) -> Cell:
+        """The value of a never-assigned variable ("" and 0 at once)."""
+        node = self.node_alloc()
+        return Cell("uninit", 0.0, "", node, None)
+
+    def free_cell(self, cell: Cell) -> None:
+        """Release a cell and its buffer."""
+        if cell.buf is not None:
+            self.heap.free(cell.buf)
+        self.heap.free(cell.node)
+
+    @traced
+    def copy_cell(self, cell: Cell) -> Cell:
+        """A fresh cell with the same value (gawk's ``dupnode``)."""
+        if cell.kind == "num":
+            return self.make_num(cell.num)
+        if cell.kind == "str":
+            return self.make_str(cell.text)
+        return self.make_uninit()
+
+    # ------------------------------------------------------------------
+    # Coercions
+    # ------------------------------------------------------------------
+
+    def num_of(self, cell: Cell) -> float:
+        """Numeric value of a cell (no allocation, touches the cell)."""
+        self.heap.touch(cell.node, 1)
+        if cell.kind == "num":
+            return cell.num
+        if cell.kind == "uninit":
+            return 0.0
+        if cell.buf is not None:
+            self.heap.touch(cell.buf, 1)
+        try:
+            return float(cell.text)
+        except ValueError:
+            return 0.0
+
+    def str_of(self, cell: Cell) -> str:
+        """String value of a cell (no allocation, touches the cell)."""
+        self.heap.touch(cell.node, 1)
+        if cell.kind == "str":
+            if cell.buf is not None:
+                self.heap.touch(cell.buf, 1 + len(cell.text) // 4)
+            return cell.text
+        if cell.kind == "uninit":
+            return ""
+        if cell.num == int(cell.num):
+            return str(int(cell.num))
+        return repr(cell.num)
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+
+    @traced
+    def compile(self, source: str) -> None:
+        """Lex and parse ``source`` into this interpreter's rule list."""
+        tokens = Lexer(source).tokens()
+        parser = Parser(tokens, self.node_alloc)
+        self.rules = parser.parse_program()
+        if not self.rules:
+            raise AwkSyntaxError("empty program")
+
+    @traced
+    def run(self, records: List[str]) -> None:
+        """Run BEGIN rules, the main rules per record, then END rules."""
+        for rule in self.rules:
+            if rule.value == "BEGIN":
+                self.exec_stmt(rule.kids[0])
+        for record in records:
+            self.run_record(record)
+        self.clear_fields()
+        for rule in self.rules:
+            if rule.value == "END":
+                self.exec_stmt(rule.kids[0])
+
+    @traced
+    def run_record(self, record: str) -> None:
+        """Split one input record into fields and run the main rules."""
+        self.clear_fields()
+        self.fields.append(self.make_str(record))
+        for word in record.split():
+            self.fields.append(self.make_str(word))
+        self.set_var("NF", self.make_num(float(len(self.fields) - 1)))
+        for rule in self.rules:
+            if rule.value == "main":
+                self.exec_stmt(rule.kids[0])
+            elif isinstance(rule.value, tuple) and rule.value[0] == "pattern":
+                if self.match_pattern(rule.value[1], record):
+                    self.exec_stmt(rule.kids[0])
+
+    def clear_fields(self) -> None:
+        """Free the previous record's field cells."""
+        for cell in self.fields:
+            self.free_cell(cell)
+        self.fields = []
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    @traced
+    def exec_stmt(self, node: Node) -> None:
+        kind = node.kind
+        if kind == "block":
+            for stmt in node.kids:
+                self.exec_stmt(stmt)
+        elif kind == "if":
+            cond = self.eval(node.kids[0])
+            taken = self.truthy(cond)
+            self.free_cell(cond)
+            if taken:
+                self.exec_stmt(node.kids[1])
+            elif len(node.kids) > 2:
+                self.exec_stmt(node.kids[2])
+        elif kind == "for":
+            init, cond, step, body = node.kids
+            self.free_cell(self.eval(init))
+            while True:
+                test = self.eval(cond)
+                go = self.truthy(test)
+                self.free_cell(test)
+                if not go:
+                    break
+                self.exec_stmt(body)
+                self.free_cell(self.eval(step))
+        elif kind == "for-in":
+            self.exec_for_in(node)
+        elif kind == "print":
+            self.exec_print(node)
+        elif kind == "expr-stmt":
+            self.free_cell(self.eval(node.kids[0]))
+        else:
+            raise AwkRuntimeError(f"unknown statement kind {kind!r}")
+
+    @traced
+    def exec_for_in(self, node: Node) -> None:
+        var, array_name = node.value
+        table = self.arrays.get(array_name, {})
+        for key in list(table):
+            self.set_var(var, self.make_str(key))
+            self.exec_stmt(node.kids[0])
+
+    @traced
+    def exec_print(self, node: Node) -> None:
+        parts = []
+        for arg in node.kids:
+            cell = self.eval(arg)
+            parts.append(self.str_of(cell))
+            self.free_cell(cell)
+        line = " ".join(parts)
+        # gawk assembles the output record in a malloc'd buffer.
+        buf = self.xalloc(STRBUF_HEADER + max(1, len(line)))
+        self.heap.touch(buf, 1 + len(line) // 4)
+        self.output.append(line)
+        self.heap.free(buf)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    @traced
+    def eval(self, node: Node) -> Cell:
+        kind = node.kind
+        if kind == "number":
+            return self.make_num(node.value)
+        if kind == "string":
+            return self.make_str(node.value)
+        if kind == "var":
+            return self.read_var(node.value)
+        if kind == "index":
+            return self.eval_index(node)
+        if kind == "field":
+            return self.eval_field(node)
+        if kind == "assign":
+            return self.eval_assign(node)
+        if kind == "concat":
+            return self.eval_concat(node)
+        if kind == "compare":
+            return self.eval_compare(node)
+        if kind == "arith":
+            return self.eval_arith(node)
+        if kind == "neg":
+            operand = self.eval(node.kids[0])
+            value = -self.num_of(operand)
+            self.free_cell(operand)
+            return self.make_num(value)
+        if kind == "call":
+            return self.eval_call(node)
+        if kind in ("preincr", "postincr"):
+            return self.eval_incr(node)
+        if kind == "match":
+            return self.eval_match(node)
+        raise AwkRuntimeError(f"unknown expression kind {kind!r}")
+
+    @traced
+    def read_var(self, name: str) -> Cell:
+        """The value of a variable, as a fresh copy the caller owns."""
+        cell = self.globals.get(name)
+        if cell is None:
+            return self.make_uninit()
+        return self.copy_cell(cell)
+
+    def set_var(self, name: str, cell: Cell) -> None:
+        """Store ``cell`` into a variable, taking ownership."""
+        old = self.globals.get(name)
+        if old is not None:
+            self.free_cell(old)
+        self.globals[name] = cell
+
+    @traced
+    def eval_index(self, node: Node) -> Cell:
+        index = self.eval(node.kids[0])
+        key = self.str_of(index)
+        self.free_cell(index)
+        table = self.arrays.get(node.value)
+        if table is None or key not in table:
+            return self.make_uninit()
+        return self.copy_cell(table[key][1])
+
+    @traced
+    def eval_field(self, node: Node) -> Cell:
+        index_cell = self.eval(node.kids[0])
+        index = int(self.num_of(index_cell))
+        self.free_cell(index_cell)
+        if 0 <= index < len(self.fields):
+            return self.copy_cell(self.fields[index])
+        return self.make_uninit()
+
+    @traced
+    def eval_assign(self, node: Node) -> Cell:
+        target, expr = node.kids
+        value = self.eval(expr)
+        self.store(target, value)
+        # An assignment expression yields (a copy of) the stored value.
+        return self.copy_cell(value)
+
+    def store(self, target: Node, value: Cell) -> None:
+        """Store ``value`` (ownership transferred) into an lvalue node."""
+        if target.kind == "var":
+            self.set_var(target.value, value)
+        elif target.kind == "index":
+            index = self.eval(target.kids[0])
+            key = self.str_of(index)
+            self.free_cell(index)
+            self.array_set(target.value, key, value)
+        else:
+            raise AwkRuntimeError(f"cannot assign to {target.kind!r}")
+
+    @traced
+    def array_set(self, name: str, key: str, value: Cell) -> None:
+        """Store into an associative array, allocating buckets on demand."""
+        table = self.arrays.setdefault(name, {})
+        entry = table.get(key)
+        if entry is None:
+            bucket = self.xalloc(BUCKET_SIZE + STRBUF_HEADER + len(key))
+            self.heap.touch(bucket, 2)
+            table[key] = (bucket, value)
+        else:
+            bucket, old = entry
+            self.free_cell(old)
+            self.heap.touch(bucket, 1)
+            table[key] = (bucket, value)
+
+    @traced
+    def eval_concat(self, node: Node) -> Cell:
+        left = self.eval(node.kids[0])
+        right = self.eval(node.kids[1])
+        text = self.str_of(left) + self.str_of(right)
+        self.free_cell(left)
+        self.free_cell(right)
+        return self.make_str(text)
+
+    @traced
+    def eval_compare(self, node: Node) -> Cell:
+        left = self.eval(node.kids[0])
+        right = self.eval(node.kids[1])
+        # AWK strnum semantics: compare numerically unless both operands
+        # are strings that do not look like numbers (or a string operand
+        # is non-numeric while the other is a number -> string compare of
+        # the number's string value is AWK's rule only for two strings;
+        # against a number, a numeric-looking string compares as a number).
+        numeric = _comparable_as_number(left) and _comparable_as_number(right)
+        if numeric:
+            a, b = self.num_of(left), self.num_of(right)
+        else:
+            a, b = self.str_of(left), self.str_of(right)
+        self.free_cell(left)
+        self.free_cell(right)
+        op = node.value
+        result = {
+            "==": a == b,
+            "!=": a != b,
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+        }[op]
+        return self.make_num(1.0 if result else 0.0)
+
+    @traced
+    def eval_arith(self, node: Node) -> Cell:
+        left = self.eval(node.kids[0])
+        right = self.eval(node.kids[1])
+        a, b = self.num_of(left), self.num_of(right)
+        self.free_cell(left)
+        self.free_cell(right)
+        op = node.value
+        if op == "+":
+            value = a + b
+        elif op == "-":
+            value = a - b
+        elif op == "*":
+            value = a * b
+        elif op == "/":
+            if b == 0:
+                raise AwkRuntimeError("division by zero")
+            value = a / b
+        else:  # "%"
+            if b == 0:
+                raise AwkRuntimeError("division by zero")
+            value = a - b * int(a / b)
+        return self.make_num(value)
+
+    @traced
+    def eval_call(self, node: Node) -> Cell:
+        """Built-in function call (length, substr, index, split, ...)."""
+        name = node.value
+        if name == "length":
+            operand = self.eval(node.kids[0])
+            text = self.str_of(operand)
+            self.free_cell(operand)
+            return self.make_num(float(len(text)))
+        if name == "substr":
+            return self.eval_substr(node)
+        if name == "index":
+            haystack = self.eval(node.kids[0])
+            needle = self.eval(node.kids[1])
+            # AWK's index() is 1-based; 0 means not found.
+            position = self.str_of(haystack).find(self.str_of(needle)) + 1
+            self.free_cell(haystack)
+            self.free_cell(needle)
+            return self.make_num(float(position))
+        if name == "split":
+            return self.eval_split(node)
+        if name in ("toupper", "tolower"):
+            operand = self.eval(node.kids[0])
+            text = self.str_of(operand)
+            self.free_cell(operand)
+            return self.make_str(
+                text.upper() if name == "toupper" else text.lower()
+            )
+        raise AwkRuntimeError(f"unknown builtin {name!r}")
+
+    @traced
+    def eval_substr(self, node: Node) -> Cell:
+        """``substr(s, start[, len])`` with AWK's 1-based indexing."""
+        source = self.eval(node.kids[0])
+        start_cell = self.eval(node.kids[1])
+        text = self.str_of(source)
+        start = max(1, int(self.num_of(start_cell)))
+        self.free_cell(source)
+        self.free_cell(start_cell)
+        if len(node.kids) > 2:
+            length_cell = self.eval(node.kids[2])
+            length = max(0, int(self.num_of(length_cell)))
+            self.free_cell(length_cell)
+            piece = text[start - 1 : start - 1 + length]
+        else:
+            piece = text[start - 1 :]
+        return self.make_str(piece)
+
+    @traced
+    def eval_split(self, node: Node) -> Cell:
+        """``split(s, arr)``: whitespace-split into arr[1..n]; returns n."""
+        source = self.eval(node.kids[0])
+        text = self.str_of(source)
+        self.free_cell(source)
+        array_name = node.kids[1].value
+        # AWK clears the array before filling it.
+        table = self.arrays.get(array_name)
+        if table is not None:
+            for bucket, cell in table.values():
+                self.heap.free(bucket)
+                self.free_cell(cell)
+            table.clear()
+        pieces = text.split()
+        for position, piece in enumerate(pieces, start=1):
+            self.array_set(array_name, str(position), self.make_str(piece))
+        return self.make_num(float(len(pieces)))
+
+    @traced
+    def eval_match(self, node: Node) -> Cell:
+        """``expr ~ /re/`` and ``expr !~ /re/``."""
+        pattern, negated = node.value
+        subject = self.eval(node.kids[0])
+        text = self.str_of(subject)
+        self.free_cell(subject)
+        hit = self.match_pattern(pattern, text)
+        return self.make_num(1.0 if hit != negated else 0.0)
+
+    @traced
+    def match_pattern(self, pattern: str, text: str) -> bool:
+        """Match ``text`` against a (cached, compiled) regex literal."""
+        regex = self.regex_cache.get(pattern)
+        if regex is None:
+            regex = compile_pattern(self.heap, pattern, self.xalloc)
+            self.regex_cache[pattern] = regex
+        return regex.match(text, self.xalloc)
+
+    @traced
+    def eval_incr(self, node: Node) -> Cell:
+        target = node.kids[0]
+        current = self.eval(target)
+        old = self.num_of(current)
+        self.free_cell(current)
+        self.store(target, self.make_num(old + 1))
+        return self.make_num(old + 1 if node.kind == "preincr" else old)
+
+    def truthy(self, cell: Cell) -> bool:
+        """AWK truth: nonzero number, non-empty string."""
+        if cell.kind == "num":
+            return cell.num != 0
+        if cell.kind == "uninit":
+            return False
+        return cell.text != ""
+
+
+def _comparable_as_number(cell: Cell) -> bool:
+    """Whether a cell takes part in numeric comparison (strnum rule)."""
+    if cell.kind in ("num", "uninit"):
+        return True
+    try:
+        float(cell.text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,452 @@
+"""Lexer and parser for the mini-AWK language of the gawk workload.
+
+Implements the AWK subset the workload's report script needs: BEGIN/END
+and main rules, blocks, ``if``/``else``, C-style ``for``, ``for (v in
+array)``, ``print``, assignment, increment, comparison, arithmetic, string
+concatenation (juxtaposition), field references (``$i``), array indexing,
+and the ``length`` builtin.
+
+The parser allocates one traced node per AST vertex (modelled on gawk's
+``NODE`` structure) through the workload's allocation layers, so the parse
+tree shows up in traces as the long-lived structure it is in real gawk.
+Syntax errors raise :class:`AwkSyntaxError` with line information.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.heap import HeapObject
+
+__all__ = ["AwkSyntaxError", "Node", "Lexer", "Parser", "NODE_SIZE", "Token"]
+
+#: Modelled size of gawk's NODE structure.
+NODE_SIZE = 32
+
+
+class AwkSyntaxError(Exception):
+    """Raised on malformed mini-AWK source."""
+
+
+Token = Tuple[str, object, int]  # (kind, value, line)
+
+_KEYWORDS = {"BEGIN", "END", "if", "else", "for", "in", "print"}
+#: Built-in functions; lexed as ("builtin", name) tokens.
+_BUILTINS = {"length", "substr", "index", "split", "toupper", "tolower"}
+_TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||", "++", "--", "!~"}
+_ONE_CHAR = set("+-*/%<>=!(){}[];,$~")
+
+
+class Lexer:
+    """Tokenizes mini-AWK source.
+
+    ``/`` begins a regex literal where a division cannot appear: after
+    ``~`` or ``!~``, at the start of a rule, or after ``(``, ``&&``,
+    ``||`` — AWK's own disambiguation rule.
+    """
+
+    #: Previous-token states after which "/" starts a regex literal.
+    _REGEX_AFTER = {None, ("op", "~"), ("op", "!~"), ("op", "("),
+                    ("op", "&&"), ("op", "||"), ("op", "{"), ("op", ";"),
+                    ("op", "}")}
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self._prev = None
+
+    def tokens(self) -> List[Token]:
+        """The full token stream, ending with an ``eof`` token."""
+        result: List[Token] = []
+        while True:
+            tok = self._next()
+            result.append(tok)
+            self._prev = (tok[0], tok[1]) if tok[0] == "op" else tok[0]
+            if tok[0] == "eof":
+                return result
+
+    def _next(self) -> Token:
+        src, n = self.source, len(self.source)
+        while self.pos < n:
+            ch = src[self.pos]
+            if ch == "\n":
+                self.line += 1
+                self.pos += 1
+            elif ch in " \t\r":
+                self.pos += 1
+            elif ch == "#":
+                while self.pos < n and src[self.pos] != "\n":
+                    self.pos += 1
+            else:
+                break
+        if self.pos >= n:
+            return ("eof", None, self.line)
+        ch = src[self.pos]
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number()
+        if ch.isalpha() or ch == "_":
+            return self._name()
+        if ch == '"':
+            return self._string()
+        if ch == "/" and self._prev in self._REGEX_AFTER:
+            return self._regex()
+        two = src[self.pos : self.pos + 2]
+        if two in _TWO_CHAR:
+            self.pos += 2
+            return ("op", two, self.line)
+        if ch in _ONE_CHAR:
+            self.pos += 1
+            return ("op", ch, self.line)
+        raise AwkSyntaxError(f"line {self.line}: unexpected character {ch!r}")
+
+    def _peek(self, ahead: int) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def _number(self) -> Token:
+        start = self.pos
+        src, n = self.source, len(self.source)
+        while self.pos < n and (src[self.pos].isdigit() or src[self.pos] == "."):
+            self.pos += 1
+        return ("number", float(src[start : self.pos]), self.line)
+
+    def _name(self) -> Token:
+        start = self.pos
+        src, n = self.source, len(self.source)
+        while self.pos < n and (src[self.pos].isalnum() or src[self.pos] == "_"):
+            self.pos += 1
+        word = src[start : self.pos]
+        if word in _KEYWORDS:
+            return (word, word, self.line)
+        if word in _BUILTINS:
+            return ("builtin", word, self.line)
+        return ("name", word, self.line)
+
+    def _regex(self) -> Token:
+        self.pos += 1  # opening slash
+        chars: List[str] = []
+        src, n = self.source, len(self.source)
+        while self.pos < n and src[self.pos] != "/":
+            ch = src[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                chars.append(ch)
+                self.pos += 1
+                ch = src[self.pos]
+            chars.append(ch)
+            self.pos += 1
+        if self.pos >= n:
+            raise AwkSyntaxError(f"line {self.line}: unterminated regex")
+        self.pos += 1  # closing slash
+        return ("regex", "".join(chars), self.line)
+
+    def _string(self) -> Token:
+        self.pos += 1  # opening quote
+        chars: List[str] = []
+        src, n = self.source, len(self.source)
+        while self.pos < n and src[self.pos] != '"':
+            ch = src[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                self.pos += 1
+                escape = src[self.pos]
+                ch = {"n": "\n", "t": "\t"}.get(escape, escape)
+            chars.append(ch)
+            self.pos += 1
+        if self.pos >= n:
+            raise AwkSyntaxError(f"line {self.line}: unterminated string")
+        self.pos += 1  # closing quote
+        return ("string", "".join(chars), self.line)
+
+
+class Node:
+    """One mini-AWK AST vertex, paired with its traced heap allocation."""
+
+    __slots__ = ("kind", "value", "kids", "handle")
+
+    def __init__(self, kind: str, value: object, kids: List["Node"],
+                 handle: HeapObject):
+        self.kind = kind
+        self.value = value
+        self.kids = kids
+        self.handle = handle
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.value!r} kids={len(self.kids)}>"
+
+
+class Parser:
+    """Recursive-descent / precedence-climbing parser for mini-AWK.
+
+    ``alloc_node`` is the workload's traced node allocator, so parse-tree
+    allocations carry the workload's call chains.
+    """
+
+    def __init__(self, tokens: List[Token],
+                 alloc_node: Callable[[], HeapObject]):
+        self._tokens = tokens
+        self._index = 0
+        self._alloc_node = alloc_node
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._index]
+        if tok[0] != "eof":
+            self._index += 1
+        return tok
+
+    def _match(self, kind: str, value: Optional[object] = None) -> bool:
+        tok = self._peek()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            return False
+        self._advance()
+        return True
+
+    def _expect(self, kind: str, value: Optional[object] = None) -> Token:
+        tok = self._peek()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            want = value if value is not None else kind
+            raise AwkSyntaxError(
+                f"line {tok[2]}: expected {want!r}, found {tok[1]!r}"
+            )
+        return self._advance()
+
+    def _node(self, kind: str, value: object = None,
+              kids: Optional[List[Node]] = None) -> Node:
+        return Node(kind, value, kids or [], self._alloc_node())
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> List[Node]:
+        """Parse a sequence of pattern-action rules."""
+        rules = []
+        while self._peek()[0] != "eof":
+            rules.append(self._rule())
+        return rules
+
+    def _rule(self) -> Node:
+        tok = self._peek()
+        if tok[0] in ("BEGIN", "END"):
+            self._advance()
+            body = self._block()
+            return self._node("rule", tok[0], [body])
+        if tok[0] == "regex":
+            # /pattern/ { action }: run the action for matching records.
+            self._advance()
+            body = self._block()
+            return self._node("rule", ("pattern", tok[1]), [body])
+        body = self._block()
+        return self._node("rule", "main", [body])
+
+    def _block(self) -> Node:
+        self._expect("op", "{")
+        stmts = []
+        while not self._match("op", "}"):
+            if self._peek()[0] == "eof":
+                raise AwkSyntaxError("unexpected end of program in block")
+            stmts.append(self._statement())
+        return self._node("block", None, stmts)
+
+    def _statement(self) -> Node:
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "{":
+            return self._block()
+        if tok[0] == "if":
+            return self._if_statement()
+        if tok[0] == "for":
+            return self._for_statement()
+        if tok[0] == "print":
+            return self._print_statement()
+        expr = self._expression()
+        self._match("op", ";")
+        return self._node("expr-stmt", None, [expr])
+
+    def _if_statement(self) -> Node:
+        self._expect("if")
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then = self._statement()
+        kids = [cond, then]
+        if self._match("else"):
+            kids.append(self._statement())
+        return self._node("if", None, kids)
+
+    def _for_statement(self) -> Node:
+        self._expect("for")
+        self._expect("op", "(")
+        # Distinguish `for (v in arr)` from `for (init; cond; step)`.
+        if (
+            self._peek()[0] == "name"
+            and self._tokens[self._index + 1][0] == "in"
+        ):
+            var = self._advance()[1]
+            self._expect("in")
+            array = self._advance()
+            if array[0] != "name":
+                raise AwkSyntaxError(
+                    f"line {array[2]}: expected array name after 'in'"
+                )
+            self._expect("op", ")")
+            body = self._statement()
+            return self._node("for-in", (var, array[1]), [body])
+        init = self._expression()
+        self._expect("op", ";")
+        cond = self._expression()
+        self._expect("op", ";")
+        step = self._expression()
+        self._expect("op", ")")
+        body = self._statement()
+        return self._node("for", None, [init, cond, step, body])
+
+    def _print_statement(self) -> Node:
+        self._expect("print")
+        args = [self._expression()]
+        while self._match("op", ","):
+            args.append(self._expression())
+        self._match("op", ";")
+        return self._node("print", None, args)
+
+    # Expression precedence, lowest first.
+    def _expression(self) -> Node:
+        return self._assignment()
+
+    def _assignment(self) -> Node:
+        target = self._comparison()
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "=":
+            if target.kind not in ("var", "index"):
+                raise AwkSyntaxError(
+                    f"line {tok[2]}: assignment to non-lvalue {target.kind}"
+                )
+            self._advance()
+            value = self._assignment()
+            return self._node("assign", None, [target, value])
+        return target
+
+    def _comparison(self) -> Node:
+        left = self._concat()
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] in ("==", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._concat()
+            return self._node("compare", tok[1], [left, right])
+        if tok[0] == "op" and tok[1] in ("~", "!~"):
+            self._advance()
+            pattern = self._expect("regex")
+            return self._node("match", (pattern[1], tok[1] == "!~"), [left])
+        return left
+
+    #: Token starts that can begin a concatenation operand.
+    _CONCAT_STARTS = ("number", "string", "name", "builtin")
+
+    def _concat(self) -> Node:
+        left = self._additive()
+        while True:
+            tok = self._peek()
+            # Like AWK, a newline ends the expression: concatenation
+            # operands must start on the line the expression is on.
+            same_line = self._index > 0 and tok[2] == self._tokens[self._index - 1][2]
+            starts_operand = same_line and (
+                tok[0] in self._CONCAT_STARTS
+                or (tok[0] == "op" and tok[1] in ("$", "("))
+            )
+            if not starts_operand:
+                return left
+            right = self._additive()
+            left = self._node("concat", None, [left, right])
+
+    def _additive(self) -> Node:
+        left = self._multiplicative()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] in ("+", "-"):
+                self._advance()
+                right = self._multiplicative()
+                left = self._node("arith", tok[1], [left, right])
+            else:
+                return left
+
+    def _multiplicative(self) -> Node:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] in ("*", "/", "%"):
+                self._advance()
+                right = self._unary()
+                left = self._node("arith", tok[1], [left, right])
+            else:
+                return left
+
+    def _unary(self) -> Node:
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "-":
+            self._advance()
+            return self._node("neg", None, [self._unary()])
+        if tok[0] == "op" and tok[1] == "$":
+            self._advance()
+            return self._node("field", None, [self._unary()])
+        if tok[0] == "op" and tok[1] == "++":
+            self._advance()
+            target = self._unary()
+            return self._node("preincr", None, [target])
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        expr = self._primary()
+        if self._peek()[0] == "op" and self._peek()[1] == "++":
+            self._advance()
+            return self._node("postincr", None, [expr])
+        return expr
+
+    def _primary(self) -> Node:
+        tok = self._advance()
+        if tok[0] == "number":
+            return self._node("number", tok[1])
+        if tok[0] == "string":
+            return self._node("string", tok[1])
+        if tok[0] == "builtin":
+            return self._builtin_call(tok[1], tok[2])
+        if tok[0] == "name":
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return self._node("index", tok[1], [index])
+            return self._node("var", tok[1])
+        if tok[0] == "op" and tok[1] == "(":
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        raise AwkSyntaxError(f"line {tok[2]}: unexpected token {tok[1]!r}")
+
+    def _builtin_call(self, name: str, line: int) -> Node:
+        """Parse ``name(arg, ...)`` into a ``call`` node."""
+        self._expect("op", "(")
+        args: List[Node] = []
+        if not self._match("op", ")"):
+            while True:
+                args.append(self._expression())
+                if self._match("op", ")"):
+                    break
+                self._expect("op", ",")
+        counts = {"length": (1, 1), "substr": (2, 3), "index": (2, 2),
+                  "split": (2, 2), "toupper": (1, 1), "tolower": (1, 1)}
+        lo, hi = counts[name]
+        if not lo <= len(args) <= hi:
+            raise AwkSyntaxError(
+                f"line {line}: {name}() takes {lo}..{hi} arguments, "
+                f"got {len(args)}"
+            )
+        if name == "split" and args[1].kind != "var":
+            raise AwkSyntaxError(
+                f"line {line}: split() needs an array name as its second "
+                "argument"
+            )
+        return self._node("call", name, args)

@@ -1,0 +1,25 @@
+"""The ghost workload: a traced PostScript interpreter and rasterizer."""
+
+from repro.workloads.ghost.graphics import (
+    GlyphCache,
+    GraphicsError,
+    PageDevice,
+    Path,
+    Rasterizer,
+)
+from repro.workloads.ghost.interp import PSError, PSInterp
+from repro.workloads.ghost.scanner import PSScanError, scan
+from repro.workloads.ghost.workload import GhostWorkload
+
+__all__ = [
+    "GlyphCache",
+    "GraphicsError",
+    "PageDevice",
+    "Path",
+    "Rasterizer",
+    "PSError",
+    "PSInterp",
+    "PSScanError",
+    "scan",
+    "GhostWorkload",
+]

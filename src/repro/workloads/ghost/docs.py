@@ -1,0 +1,161 @@
+"""PostScript document generators for the ghost workload.
+
+The paper drove GhostScript with "a large reference manual and a masters
+thesis" under NODISPLAY.  These generators produce documents of those two
+shapes, deterministically:
+
+* :func:`reference_manual` — many uniform pages: headers, dense running
+  text, full-width rules, and boxed examples.  Single text size per
+  element class.
+* :func:`masters_thesis` — fewer, more varied pages: chapter headings in
+  large type, paragraphs, centered figures built from curves and filled
+  bars, footnote rules.
+
+Both define a small procedure prologue (``hrule``, ``textline``, ...) so
+execution flows through user procedures, giving allocation chains the
+layered structure the predictor depends on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.inputs import word_list
+
+__all__ = ["reference_manual", "masters_thesis"]
+
+_PROLOGUE = """
+/tl { moveto show } def
+/hrule { newpath moveto 620 0 rlineto stroke } def
+/vrule { newpath moveto 0 200 rlineto stroke } def
+/xbox {
+  newpath moveto
+  dup 0 rlineto
+  0 44 rlineto
+  neg 0 rlineto
+  closepath stroke
+} def
+/bar {
+  newpath moveto
+  dup 0 rlineto
+  0 12 rlineto
+  neg 0 rlineto
+  closepath fill
+} def
+/swirl {
+  newpath moveto
+  60 40 120 -40 180 0 curveto
+  stroke
+} def
+"""
+
+
+def _text(rng: random.Random, words: List[str], count: int) -> str:
+    return " ".join(rng.choice(words) for _ in range(count))
+
+
+def reference_manual(pages: int, seed: int) -> str:
+    """A large, uniform reference manual (the ``train`` document)."""
+    rng = random.Random(seed)
+    words = word_list(300, seed=seed ^ 0xFACE)
+    out = [_PROLOGUE]
+    out.append("/Helvetica findfont 18 scalefont setfont\n")
+    for page in range(pages):
+        out.append(f"% page {page}\n")
+        out.append("/Helvetica findfont 18 scalefont setfont\n")
+        out.append(f"({_text(rng, words, 3)}) 72 980 tl\n")
+        out.append("72 968 hrule\n")
+        out.append("72 964 hrule\n")
+        out.append("/Times findfont 10 scalefont setfont\n")
+        y = 940
+        for _ in range(26):
+            out.append(f"({_text(rng, words, rng.randint(7, 11))}) 72 {y} tl\n")
+            y -= 14
+        # Boxed examples with a monospace flavour, each with a shaded
+        # caption bar beneath it.
+        out.append("/Courier findfont 9 scalefont setfont\n")
+        for example in range(3):
+            box_y = 480 - example * 120
+            out.append(f"520 90 {box_y} xbox\n")
+            out.append(f"200 96 {box_y - 18} bar\n")
+            out.append(f"({_text(rng, words, 6)}) 100 {box_y + 26} tl\n")
+            out.append(f"({_text(rng, words, 5)}) 100 {box_y + 12} tl\n")
+        # A small reference table: rules between rows, one vertical rule.
+        for row in range(5):
+            out.append(f"72 {118 + row * 14} hrule\n")
+        out.append("360 118 vrule\n")
+        out.append("/Times findfont 8 scalefont setfont\n")
+        for row in range(4):
+            out.append(
+                f"({_text(rng, words, 3)}) 80 {122 + row * 14} tl\n"
+            )
+            out.append(
+                f"({_text(rng, words, 3)}) 380 {122 + row * 14} tl\n"
+            )
+        out.append("72 96 hrule\n")
+        folio_size = 8 + (page * 3) % 11
+        folio_font = "Helvetica" if page % 2 else "Times"
+        out.append(f"/{folio_font} findfont {folio_size} scalefont setfont\n")
+        out.append(f"(Page {page + 1} {_text(rng, words, 2)}) 320 80 tl\n")
+        out.append("showpage\n")
+    return "".join(out)
+
+
+def masters_thesis(pages: int, seed: int) -> str:
+    """A masters thesis: varied pages with figures (the ``test`` document)."""
+    rng = random.Random(seed)
+    words = word_list(400, seed=seed ^ 0x7E515)
+    out = [_PROLOGUE]
+    out.append("/Times findfont 12 scalefont setfont\n")
+    for page in range(pages):
+        out.append(f"% thesis page {page}\n")
+        out.append("72 1000 hrule\n")  # running-header rule
+        if page % 4 == 0:
+            # Chapter opening: large heading, lots of whitespace.
+            out.append("/Times findfont 24 scalefont setfont\n")
+            out.append(f"(Chapter {page // 4 + 1}) 72 900 tl\n")
+            out.append(f"({_text(rng, words, 4)}) 72 860 tl\n")
+            out.append("72 840 hrule\n")
+            out.append("72 836 hrule\n")
+            body_lines, y = 18, 800
+        else:
+            body_lines, y = 32, 980
+        out.append("/Times findfont 12 scalefont setfont\n")
+        for _ in range(body_lines):
+            out.append(f"({_text(rng, words, rng.randint(6, 10))}) 72 {y} tl\n")
+            y -= 16
+        # Margin-note column rule and a footnote separator on every page.
+        out.append("560 400 vrule\n")
+        out.append(f"({_text(rng, words, 2)}) 580 560 tl\n")
+        out.append("72 140 hrule\n")
+        note_size = 7 + (page * 5) % 9
+        out.append(f"/Times findfont {note_size} scalefont setfont\n")
+        out.append(f"({page + 1}. {_text(rng, words, 6)}) 72 124 tl\n")
+        if page % 2 == 1:
+            # A centered figure: bars, a curve, markers, and an axis.
+            out.append("gsave 180 200 translate\n")
+            for bar in range(5):
+                height = 40 + rng.randint(0, 60)
+                out.append(f"{height} {40 + bar * 70} 0 bar\n")
+                # A circular data marker above each bar.
+                out.append(
+                    f"newpath {40 + bar * 70} {height + 14} 5 0 360 arc "
+                    "closepath fill\n"
+                )
+            out.append("0 -8 swirl\n")
+            out.append("2 setlinewidth newpath 20 -10 moveto 360 0 rlineto "
+                       "stroke 1 setlinewidth\n")
+            out.append("20 -10 vrule\n")
+            out.append("grestore\n")
+            if page % 4 == 1:
+                # An inset detail at half scale.
+                out.append("gsave 420 420 translate 0.5 0.5 scale\n")
+                out.append("newpath 100 100 60 0 180 arc stroke\n")
+                out.append("160 40 40 xbox\n")
+                out.append("grestore\n")
+            out.append("/Times findfont 9 scalefont setfont\n")
+            out.append(f"(Figure: {_text(rng, words, 3)}) 220 170 tl\n")
+        out.append("72 80 hrule\n")
+        out.append("showpage\n")
+    return "".join(out)

@@ -1,0 +1,135 @@
+"""PostScript scanner for the ghost workload.
+
+Tokenizes the PostScript subset the generated documents use: numbers,
+executable names, literal names (``/name``), strings (``(...)`` with
+nesting and escapes), procedure bodies (``{ ... }``), and array literals
+(``[ ... ]``).  Procedures and arrays scan into nested Python lists; the
+interpreter allocates their traced composite objects when the tokens are
+consumed (matching GhostScript, where the scanner and the object memory
+cooperate).
+
+Tokens are plain tuples — GhostScript's scanner builds refs on the stack,
+not heap objects, so scanning itself is allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+__all__ = ["PSScanError", "scan", "Token"]
+
+
+class PSScanError(Exception):
+    """Raised on malformed PostScript input."""
+
+
+#: A scanned token: ("number", float) | ("name", str) | ("litname", str)
+#: | ("string", str) | ("proc", [tokens]) | ("array", [tokens])
+Token = Tuple[str, Union[float, str, List]]
+
+_DELIMITERS = "{}[]()/%"
+
+
+def scan(source: str) -> List[Token]:
+    """Scan ``source`` into a flat token list (procs/arrays nested)."""
+    tokens, pos = _scan_until(source, 0, terminator=None)
+    return tokens
+
+
+def _scan_until(source: str, pos: int, terminator: str) -> Tuple[List[Token], int]:
+    tokens: List[Token] = []
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch in " \t\r\n":
+            pos += 1
+        elif ch == "%":
+            while pos < n and source[pos] != "\n":
+                pos += 1
+        elif ch == terminator:
+            return tokens, pos + 1
+        elif ch == "{":
+            body, pos = _scan_until(source, pos + 1, "}")
+            tokens.append(("proc", body))
+        elif ch == "[":
+            body, pos = _scan_until(source, pos + 1, "]")
+            tokens.append(("array", body))
+        elif ch in "}]":
+            raise PSScanError(f"unbalanced {ch!r} at offset {pos}")
+        elif ch == "(":
+            text, pos = _scan_string(source, pos + 1)
+            tokens.append(("string", text))
+        elif ch == "/":
+            name, pos = _scan_name(source, pos + 1)
+            if not name:
+                raise PSScanError(f"empty literal name at offset {pos}")
+            tokens.append(("litname", name))
+        elif ch.isdigit() or ch in "+-." and _starts_number(source, pos):
+            number, pos = _scan_number(source, pos)
+            tokens.append(("number", number))
+        else:
+            name, pos = _scan_name(source, pos)
+            if not name:
+                raise PSScanError(
+                    f"unexpected character {ch!r} at offset {pos}"
+                )
+            tokens.append(("name", name))
+    if terminator is not None:
+        raise PSScanError(f"missing closing {terminator!r}")
+    return tokens, pos
+
+
+def _starts_number(source: str, pos: int) -> bool:
+    ch = source[pos]
+    if ch.isdigit():
+        return True
+    return (
+        ch in "+-."
+        and pos + 1 < len(source)
+        and (source[pos + 1].isdigit() or source[pos + 1] == ".")
+    )
+
+
+def _scan_number(source: str, pos: int) -> Tuple[float, int]:
+    start = pos
+    n = len(source)
+    if source[pos] in "+-":
+        pos += 1
+    while pos < n and (source[pos].isdigit() or source[pos] == "."):
+        pos += 1
+    try:
+        return float(source[start:pos]), pos
+    except ValueError:
+        raise PSScanError(f"bad number {source[start:pos]!r}") from None
+
+
+def _scan_name(source: str, pos: int) -> Tuple[str, int]:
+    start = pos
+    n = len(source)
+    while pos < n and not source[pos].isspace() and source[pos] not in _DELIMITERS:
+        pos += 1
+    return source[start:pos], pos
+
+
+def _scan_string(source: str, pos: int) -> Tuple[str, int]:
+    chars: List[str] = []
+    depth = 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\\" and pos + 1 < n:
+            pos += 1
+            escape = source[pos]
+            chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+        elif ch == "(":
+            depth += 1
+            chars.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return "".join(chars), pos + 1
+            chars.append(ch)
+        else:
+            chars.append(ch)
+        pos += 1
+    raise PSScanError("unterminated string")

@@ -1,0 +1,74 @@
+"""The ghost workload: interpreting PostScript documents, NODISPLAY-style.
+
+``train`` renders a large reference manual, ``test`` a masters thesis —
+the paper's two GhostScript inputs.  Both run through the same interpreter
+and rasterizer, so many allocation sites transfer between runs, but the
+thesis's different page mix (large headings, figures with curves and
+filled bars) shifts sizes and lifetimes enough that true prediction falls
+below self prediction (80.9% → 71.8% in the paper's Table 4).
+
+GHOST is the reproduction's "big heap" program: the page framebuffer is a
+single long-lived allocation far larger than any other workload's live
+data, and every paint operation allocates a 6 KB span buffer — the
+short-lived objects that are too large for the paper's 4 KB arenas
+(Table 7's GHOST anomaly).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.heap import TracedHeap, traced
+from repro.workloads.base import DatasetSpec, Workload
+from repro.workloads.ghost.docs import masters_thesis, reference_manual
+from repro.workloads.ghost.interp import PSInterp
+
+__all__ = ["GhostWorkload"]
+
+
+class GhostWorkload(Workload):
+    """Interpret a generated PostScript document."""
+
+    name = "ghost"
+    DATASETS = {
+        "train": DatasetSpec(
+            "train",
+            "reference manual, ~22 uniform pages (seed 6001)",
+            relation="same interpreter; different document shape than test",
+        ),
+        "test": DatasetSpec(
+            "test",
+            "masters thesis, ~18 varied pages (seed 7002)",
+            relation="same interpreter; different document shape than train",
+        ),
+        "tiny": DatasetSpec("tiny", "a 2-page manual, for tests"),
+    }
+
+    def __init__(self, heap: TracedHeap):
+        super().__init__(heap)
+        self.interp = PSInterp(heap)
+
+    def run(self, dataset: str, scale: float = 1.0) -> None:
+        self.dataset_spec(dataset)
+        if dataset == "tiny":
+            source = reference_manual(pages=2, seed=55)
+        elif dataset == "train":
+            source = reference_manual(
+                pages=max(1, round(22 * scale)), seed=6001
+            )
+        else:
+            source = masters_thesis(pages=max(1, round(18 * scale)), seed=7002)
+        self.render(source)
+
+    @traced
+    def render(self, source: str) -> None:
+        """Interpret the document (the NODISPLAY execution)."""
+        self.interp.run(source)
+
+    @property
+    def pages_shown(self) -> int:
+        """Pages emitted by ``showpage`` — output-correctness check."""
+        return self.interp.device.pages_shown
+
+    @property
+    def painted_pixels(self) -> int:
+        """Total framebuffer pixels painted across the run."""
+        return self.interp.device.painted_pixels

@@ -1,0 +1,145 @@
+"""Deterministic input generators for the workloads.
+
+The paper's programs consumed real files — dictionaries, PLA examples,
+PostScript manuals, integers to factor.  To keep the reproduction
+self-contained every input is generated pseudo-randomly from a fixed seed:
+the same (dataset, scale) always produces the same input, so traces are
+reproducible, while ``train`` and ``test`` seeds differ so true prediction
+is a genuine cross-input experiment.
+
+Generators here are shared across workloads; each workload's module
+decides how to combine them (which seeds, sizes, and shapes make up its
+``train`` and ``test`` datasets).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = [
+    "word_list",
+    "text_lines",
+    "semiprimes",
+    "pla_terms",
+    "is_probable_prime",
+]
+
+_VOWELS = "aeiou"
+_CONSONANTS = "bcdfghjklmnprstvwz"
+
+
+def word_list(count: int, seed: int, min_syllables: int = 1,
+              max_syllables: int = 4) -> List[str]:
+    """``count`` pronounceable pseudo-dictionary words, deterministically.
+
+    Words are syllable-built so their length distribution (3-12 chars)
+    resembles a natural dictionary — the shape that drives string-buffer
+    sizes in the gawk and perl workloads.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    words = []
+    for _ in range(count):
+        syllables = rng.randint(min_syllables, max_syllables)
+        parts = []
+        for _ in range(syllables):
+            parts.append(rng.choice(_CONSONANTS))
+            parts.append(rng.choice(_VOWELS))
+            if rng.random() < 0.3:
+                parts.append(rng.choice(_CONSONANTS))
+        words.append("".join(parts))
+    return words
+
+
+def text_lines(lines: int, seed: int, words_per_line: Tuple[int, int] = (3, 12),
+               vocabulary: int = 500) -> List[str]:
+    """``lines`` lines of space-separated words over a small vocabulary.
+
+    Models the record-oriented files the paper's gawk and perl scripts
+    processed.  A bounded vocabulary makes associative-array workloads
+    (word counting) behave like real text.
+    """
+    vocab = word_list(vocabulary, seed=seed ^ 0x5EED)
+    rng = random.Random(seed)
+    lo, hi = words_per_line
+    return [
+        " ".join(rng.choice(vocab) for _ in range(rng.randint(lo, hi)))
+        for _ in range(lines)
+    ]
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are exact for every n < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(rng: random.Random, digits: int) -> int:
+    lo = 10 ** (digits - 1)
+    hi = 10 ** digits - 1
+    while True:
+        candidate = rng.randrange(lo, hi) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def semiprimes(count: int, seed: int, digits: int = 9) -> List[int]:
+    """``count`` products of two primes with ``digits`` total digits.
+
+    The cfrac inputs: "20-40 digit numbers that were the product of two
+    primes" in the paper, scaled down so the pure-Python factorizer
+    finishes in seconds while exercising the same allocation structure.
+    """
+    rng = random.Random(seed)
+    hi_digits = digits // 2 + digits % 2
+    lo_digits = digits - hi_digits
+    result = []
+    for _ in range(count):
+        p = _random_prime(rng, max(2, lo_digits))
+        q = _random_prime(rng, max(2, hi_digits))
+        result.append(p * q)
+    return result
+
+
+def pla_terms(
+    inputs: int, terms: int, seed: int, dont_care_rate: float = 0.4
+) -> List[str]:
+    """A random two-level cover: ``terms`` product terms over ``inputs`` vars.
+
+    Each term is a string over ``{0, 1, -}`` (the PLA input-plane format
+    espresso reads); ``dont_care_rate`` controls cube size.  Random covers
+    are heavily redundant, which gives the minimizer real work.
+    """
+    rng = random.Random(seed)
+    result = []
+    for _ in range(terms):
+        term = []
+        for _ in range(inputs):
+            if rng.random() < dont_care_rate:
+                term.append("-")
+            else:
+                term.append(rng.choice("01"))
+        result.append("".join(term))
+    return result

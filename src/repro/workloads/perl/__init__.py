@@ -1,0 +1,23 @@
+"""The perl workload: a traced mini-Perl (perl4-lite) interpreter."""
+
+from repro.workloads.perl.interp import AV, SV, PerlInterp, PerlRuntimeError
+from repro.workloads.perl.parser import PerlLexer, PerlParser, PerlSyntaxError, POp
+from repro.workloads.perl.regex import Regex, RegexError, compile_pattern
+from repro.workloads.perl.workload import FILL_SCRIPT, SORT_SCRIPT, PerlWorkload
+
+__all__ = [
+    "AV",
+    "SV",
+    "PerlInterp",
+    "PerlRuntimeError",
+    "PerlLexer",
+    "PerlParser",
+    "PerlSyntaxError",
+    "POp",
+    "Regex",
+    "RegexError",
+    "compile_pattern",
+    "FILL_SCRIPT",
+    "SORT_SCRIPT",
+    "PerlWorkload",
+]

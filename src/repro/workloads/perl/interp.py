@@ -1,0 +1,807 @@
+"""Tree-walking interpreter for mini-Perl.
+
+Models Perl 4's runtime allocation: scalar values (SVs) are traced cells
+with separately-allocated string buffers, arrays own a realloc-grown slot
+block (so ``push`` churns slot blocks the way perl's ``av_extend`` does),
+hashes allocate an entry record per key, and compiled regexes are
+long-lived node chains while each match allocates short-lived scratch.
+
+Copy semantics throughout: assignment, ``push``, ``foreach`` and friends
+copy values, so temporaries are born and die at the statement rhythm the
+paper's PERL traces show (median lifetime 887 bytes).
+
+Ownership: :meth:`PerlInterp.eval` returns an SV the caller owns;
+:meth:`PerlInterp.eval_list` returns a list of owned SVs.  Storing
+transfers ownership; everything else must be freed by the consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.heap import HeapObject, TracedHeap, traced
+from repro.workloads.perl.parser import (
+    OP_SIZE,
+    PerlLexer,
+    PerlParser,
+    PerlSyntaxError,
+    POp,
+)
+from repro.workloads.perl.regex import Regex, compile_pattern
+
+__all__ = ["SV", "AV", "PerlInterp", "PerlRuntimeError"]
+
+SV_SIZE = 24
+STRBUF_HEADER = 12
+AV_STRUCT_SIZE = 20
+AV_INITIAL_CAPACITY = 4
+HE_SIZE = 32
+
+
+class PerlRuntimeError(Exception):
+    """Raised on runtime errors in the mini-Perl program."""
+
+
+class SV:
+    """One scalar value: traced cell plus optional string buffer."""
+
+    __slots__ = ("kind", "num", "text", "cell", "buf")
+
+    def __init__(self, kind: str, num: float, text: str,
+                 cell: HeapObject, buf: Optional[HeapObject]):
+        self.kind = kind  # "num" | "str" | "undef"
+        self.num = num
+        self.text = text
+        self.cell = cell
+        self.buf = buf
+
+
+class AV:
+    """One array: its element SVs plus the traced struct and slot block."""
+
+    __slots__ = ("items", "struct", "slots", "capacity")
+
+    def __init__(self, items: List[SV], struct: HeapObject,
+                 slots: HeapObject, capacity: int):
+        self.items = items
+        self.struct = struct
+        self.slots = slots
+        self.capacity = capacity
+
+
+class PerlInterp:
+    """Executes a parsed mini-Perl script over an input file."""
+
+    def __init__(self, heap: TracedHeap):
+        self.heap = heap
+        self.scalars: Dict[str, SV] = {}
+        self.arrays: Dict[str, AV] = {}
+        self.hashes: Dict[str, Dict[str, Tuple[HeapObject, SV]]] = {}
+        self.regex_cache: Dict[str, Regex] = {}
+        self.program: List[POp] = []
+        self.input_lines: List[str] = []
+        self.input_pos = 0
+        self.output: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Allocation layers
+    # ------------------------------------------------------------------
+
+    @traced
+    def xalloc(self, size: int) -> HeapObject:
+        """Checked allocation wrapper (perl's ``safemalloc``)."""
+        return self.heap.malloc(size)
+
+    @traced
+    def sv_new_num(self, value: float) -> SV:
+        """A fresh numeric scalar."""
+        cell = self.xalloc(SV_SIZE)
+        self.heap.touch(cell, 1)
+        return SV("num", value, "", cell, None)
+
+    @traced
+    def sv_new_str(self, text: str) -> SV:
+        """A fresh string scalar owning a character buffer."""
+        cell = self.xalloc(SV_SIZE)
+        buf = self.xalloc(STRBUF_HEADER + max(1, len(text)))
+        self.heap.touch(buf, 2 + len(text) // 2)
+        return SV("str", 0.0, text, cell, buf)
+
+    @traced
+    def sv_undef(self) -> SV:
+        """A fresh undefined scalar."""
+        cell = self.xalloc(SV_SIZE)
+        return SV("undef", 0.0, "", cell, None)
+
+    @traced
+    def sv_copy(self, sv: SV) -> SV:
+        """A fresh scalar with the same value."""
+        if sv.kind == "num":
+            return self.sv_new_num(sv.num)
+        if sv.kind == "str":
+            return self.sv_new_str(sv.text)
+        return self.sv_undef()
+
+    @traced
+    def sv_store_copy(self, sv: SV) -> SV:
+        """The copy made when a value is stored into a container.
+
+        A distinct traced layer from :meth:`sv_copy` so that stored
+        (frequently retained) values get their own allocation sites, as
+        perl's ``apush``/``hstore`` copy paths do.
+        """
+        return self.sv_copy(sv)
+
+    def sv_free(self, sv: SV) -> None:
+        """Release a scalar and its buffer."""
+        if sv.buf is not None:
+            self.heap.free(sv.buf)
+        self.heap.free(sv.cell)
+
+    @traced
+    def av_new(self) -> AV:
+        """A fresh empty array with an initial slot block."""
+        struct = self.xalloc(AV_STRUCT_SIZE)
+        slots = self.xalloc(8 + 8 * AV_INITIAL_CAPACITY)
+        return AV([], struct, slots, AV_INITIAL_CAPACITY)
+
+    @traced
+    def av_push(self, av: AV, sv: SV) -> None:
+        """Append ``sv`` (ownership transferred), growing slots as needed."""
+        if len(av.items) >= av.capacity:
+            av.capacity *= 2
+            new_slots = self.xalloc(8 + 8 * av.capacity)
+            self.heap.touch(new_slots, len(av.items))
+            self.heap.free(av.slots)
+            av.slots = new_slots
+        self.heap.touch(av.slots, 1)
+        av.items.append(sv)
+
+    def av_free(self, av: AV) -> None:
+        """Release an array, its slots, and every element."""
+        for sv in av.items:
+            self.sv_free(sv)
+        self.heap.free(av.slots)
+        self.heap.free(av.struct)
+
+    # ------------------------------------------------------------------
+    # Coercions
+    # ------------------------------------------------------------------
+
+    def num_of(self, sv: SV) -> float:
+        """Numeric value (touches the cell)."""
+        self.heap.touch(sv.cell, 1)
+        if sv.kind == "num":
+            return sv.num
+        if sv.kind == "undef":
+            return 0.0
+        if sv.buf is not None:
+            self.heap.touch(sv.buf, 1)
+        head = sv.text.strip()
+        digits = ""
+        for ch in head:
+            if ch.isdigit() or (ch in "+-." and not digits):
+                digits += ch
+            else:
+                break
+        try:
+            return float(digits)
+        except ValueError:
+            return 0.0
+
+    def str_of(self, sv: SV) -> str:
+        """String value (touches the cell and buffer)."""
+        self.heap.touch(sv.cell, 1)
+        if sv.kind == "str":
+            if sv.buf is not None:
+                self.heap.touch(sv.buf, 1 + len(sv.text) // 4)
+            return sv.text
+        if sv.kind == "undef":
+            return ""
+        if sv.num == int(sv.num):
+            return str(int(sv.num))
+        return repr(sv.num)
+
+    def truthy(self, sv: SV) -> bool:
+        """Perl truth: undef, 0, and "" are false."""
+        if sv.kind == "undef":
+            return False
+        if sv.kind == "num":
+            return sv.num != 0
+        return sv.text not in ("", "0")
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+
+    @traced
+    def compile(self, source: str) -> None:
+        """Lex and parse ``source`` into this interpreter's op tree."""
+        tokens = PerlLexer(source).tokens()
+        parser = PerlParser(tokens, lambda: self.xalloc(OP_SIZE))
+        self.program = parser.parse_program()
+        if not self.program:
+            raise PerlSyntaxError("empty script")
+
+    @traced
+    def run(self, input_lines: List[str]) -> None:
+        """Execute the script with ``input_lines`` on filehandle IN."""
+        self.input_lines = input_lines
+        self.input_pos = 0
+        for stmt in self.program:
+            self.exec_stmt(stmt)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    @traced
+    def exec_stmt(self, op: POp) -> None:
+        kind = op.kind
+        if kind == "block":
+            for stmt in op.kids:
+                self.exec_stmt(stmt)
+        elif kind == "expr-stmt":
+            self.sv_free(self.eval(op.kids[0]))
+        elif kind == "while-read":
+            self.exec_while_read(op)
+        elif kind == "while":
+            cond, body = op.kids
+            while True:
+                test = self.eval(cond)
+                go = self.truthy(test)
+                self.sv_free(test)
+                if not go:
+                    break
+                self.exec_stmt(body)
+        elif kind == "foreach":
+            self.exec_foreach(op)
+        elif kind == "if":
+            cond = self.eval(op.kids[0])
+            taken = self.truthy(cond)
+            self.sv_free(cond)
+            if taken:
+                self.exec_stmt(op.kids[1])
+            elif len(op.kids) > 2:
+                self.exec_stmt(op.kids[2])
+        elif kind == "print":
+            self.exec_print(op)
+        else:
+            raise PerlRuntimeError(f"unknown statement kind {kind!r}")
+
+    @traced
+    def exec_while_read(self, op: POp) -> None:
+        """``while (<IN>) { ... }``: iterate input lines through ``$_``."""
+        body = op.kids[0]
+        while self.input_pos < len(self.input_lines):
+            line = self.input_lines[self.input_pos]
+            self.input_pos += 1
+            self.set_scalar("_", self.sv_new_str(line + "\n"))
+            self.exec_stmt(body)
+
+    @traced
+    def exec_foreach(self, op: POp) -> None:
+        """``foreach $v (LIST) { ... }``: copy each element into ``$v``."""
+        values = self.eval_list(op.kids[0])
+        body = op.kids[1]
+        try:
+            for sv in values:
+                self.set_scalar(op.value, self.sv_copy(sv))
+                self.exec_stmt(body)
+        finally:
+            for sv in values:
+                self.sv_free(sv)
+
+    @traced
+    def exec_print(self, op: POp) -> None:
+        parts = []
+        for arg in op.kids:
+            sv = self.eval(arg)
+            parts.append(self.str_of(sv))
+            self.sv_free(sv)
+        text = "".join(parts)
+        buf = self.xalloc(STRBUF_HEADER + max(1, len(text)))
+        self.heap.touch(buf, 1 + len(text) // 4)
+        self.output.append(text.rstrip("\n"))
+        self.heap.free(buf)
+
+    # ------------------------------------------------------------------
+    # Scalar-context evaluation
+    # ------------------------------------------------------------------
+
+    @traced
+    def eval(self, op: POp) -> SV:
+        kind = op.kind
+        if kind == "number":
+            return self.sv_new_num(op.value)
+        if kind == "string":
+            return self.sv_new_str(op.value)
+        if kind == "scalar":
+            return self.read_scalar(op.value)
+        if kind == "array":
+            # An array in scalar context is its length.
+            av = self.arrays.get(op.value)
+            return self.sv_new_num(float(len(av.items) if av else 0))
+        if kind == "array-elem":
+            return self.eval_array_elem(op)
+        if kind == "hash-elem":
+            return self.eval_hash_elem(op)
+        if kind == "assign":
+            return self.eval_assign(op)
+        if kind == "concat":
+            return self.eval_concat(op)
+        if kind == "arith":
+            return self.eval_arith(op)
+        if kind == "compare":
+            return self.eval_compare(op)
+        if kind == "logical":
+            left = self.eval(op.kids[0])
+            take_right = self.truthy(left) == (op.value == "&&")
+            if take_right:
+                self.sv_free(left)
+                return self.eval(op.kids[1])
+            return left
+        if kind == "match":
+            return self.eval_match(op)
+        if kind == "repeat":
+            left = self.eval(op.kids[0])
+            count_sv = self.eval(op.kids[1])
+            text = self.str_of(left)
+            count = max(0, int(self.num_of(count_sv)))
+            self.sv_free(left)
+            self.sv_free(count_sv)
+            return self.sv_new_str(text * count)
+        if kind == "neg":
+            operand = self.eval(op.kids[0])
+            value = -self.num_of(operand)
+            self.sv_free(operand)
+            return self.sv_new_num(value)
+        if kind == "not":
+            operand = self.eval(op.kids[0])
+            value = 0.0 if self.truthy(operand) else 1.0
+            self.sv_free(operand)
+            return self.sv_new_num(value)
+        if kind == "readline":
+            if self.input_pos < len(self.input_lines):
+                line = self.input_lines[self.input_pos]
+                self.input_pos += 1
+                return self.sv_new_str(line + "\n")
+            return self.sv_undef()
+        if kind == "call":
+            return self.call_builtin_scalar(op)
+        if kind == "list":
+            # A list in scalar context yields its last element.
+            values = [self.eval(kid) for kid in op.kids]
+            for sv in values[:-1]:
+                self.sv_free(sv)
+            return values[-1]
+        raise PerlRuntimeError(f"unknown expression kind {kind!r}")
+
+    @traced
+    def read_scalar(self, name: str) -> SV:
+        """The value of ``$name``, as a fresh copy."""
+        sv = self.scalars.get(name)
+        if sv is None:
+            return self.sv_undef()
+        return self.sv_copy(sv)
+
+    def set_scalar(self, name: str, sv: SV) -> None:
+        """Store ``sv`` into ``$name``, taking ownership."""
+        old = self.scalars.get(name)
+        if old is not None:
+            self.sv_free(old)
+        self.scalars[name] = sv
+
+    @traced
+    def eval_array_elem(self, op: POp) -> SV:
+        index_sv = self.eval(op.kids[0])
+        index = int(self.num_of(index_sv))
+        self.sv_free(index_sv)
+        av = self.arrays.get(op.value)
+        if av is None or not -len(av.items) <= index < len(av.items):
+            return self.sv_undef()
+        self.heap.touch(av.slots, 1)
+        return self.sv_copy(av.items[index])
+
+    @traced
+    def eval_hash_elem(self, op: POp) -> SV:
+        key_sv = self.eval(op.kids[0])
+        key = self.str_of(key_sv)
+        self.sv_free(key_sv)
+        table = self.hashes.get(op.value)
+        if table is None or key not in table:
+            return self.sv_undef()
+        entry, sv = table[key]
+        self.heap.touch(entry, 1)
+        return self.sv_copy(sv)
+
+    @traced
+    def eval_assign(self, op: POp) -> SV:
+        target, expr = op.kids
+        if target.kind == "array":
+            values = self.eval_list(expr)
+            self.store_array(target.value, values)
+            return self.sv_new_num(float(len(values)))
+        value = self.eval(expr)
+        self.store_scalar_target(target, value)
+        return self.sv_copy(value)
+
+    def store_scalar_target(self, target: POp, value: SV) -> None:
+        """Store an owned SV into a scalar-shaped lvalue."""
+        if target.kind == "scalar":
+            self.set_scalar(target.value, value)
+        elif target.kind == "array-elem":
+            index_sv = self.eval(target.kids[0])
+            index = int(self.num_of(index_sv))
+            self.sv_free(index_sv)
+            av = self.arrays.get(target.value)
+            if av is None:
+                av = self.arrays[target.value] = self.av_new()
+            while len(av.items) <= index:
+                self.av_push(av, self.sv_undef())
+            self.sv_free(av.items[index])
+            self.heap.touch(av.slots, 1)
+            av.items[index] = value
+        elif target.kind == "hash-elem":
+            key_sv = self.eval(target.kids[0])
+            key = self.str_of(key_sv)
+            self.sv_free(key_sv)
+            self.hash_store(target.value, key, value)
+        else:
+            raise PerlRuntimeError(f"cannot assign to {target.kind!r}")
+
+    @traced
+    def hash_store(self, name: str, key: str, value: SV) -> None:
+        """Store into ``%name``, allocating an entry record for new keys."""
+        table = self.hashes.setdefault(name, {})
+        existing = table.get(key)
+        if existing is None:
+            entry = self.xalloc(HE_SIZE + len(key))
+            self.heap.touch(entry, 2)
+            table[key] = (entry, value)
+        else:
+            entry, old = existing
+            self.sv_free(old)
+            self.heap.touch(entry, 1)
+            table[key] = (entry, value)
+
+    def store_array(self, name: str, values: List[SV]) -> None:
+        """Replace ``@name`` with ``values`` (ownership transferred)."""
+        old = self.arrays.get(name)
+        if old is not None:
+            self.av_free(old)
+        av = self.av_new()
+        for sv in values:
+            self.av_push(av, sv)
+        self.arrays[name] = av
+
+    @traced
+    def eval_concat(self, op: POp) -> SV:
+        left = self.eval(op.kids[0])
+        right = self.eval(op.kids[1])
+        text = self.str_of(left) + self.str_of(right)
+        self.sv_free(left)
+        self.sv_free(right)
+        return self.sv_new_str(text)
+
+    @traced
+    def eval_arith(self, op: POp) -> SV:
+        left = self.eval(op.kids[0])
+        right = self.eval(op.kids[1])
+        a, b = self.num_of(left), self.num_of(right)
+        self.sv_free(left)
+        self.sv_free(right)
+        operator = op.value
+        if operator == "+":
+            value = a + b
+        elif operator == "-":
+            value = a - b
+        elif operator == "*":
+            value = a * b
+        elif operator == "/":
+            if b == 0:
+                raise PerlRuntimeError("Illegal division by zero")
+            value = a / b
+        else:  # %
+            if b == 0:
+                raise PerlRuntimeError("Illegal modulus zero")
+            value = float(int(a) % int(b))
+        return self.sv_new_num(value)
+
+    @traced
+    def eval_compare(self, op: POp) -> SV:
+        left = self.eval(op.kids[0])
+        right = self.eval(op.kids[1])
+        operator = op.value
+        if operator in ("eq", "ne", "lt", "gt"):
+            a, b = self.str_of(left), self.str_of(right)
+            result = {
+                "eq": a == b, "ne": a != b, "lt": a < b, "gt": a > b
+            }[operator]
+        else:
+            a, b = self.num_of(left), self.num_of(right)
+            result = {
+                "==": a == b, "!=": a != b, "<": a < b,
+                "<=": a <= b, ">": a > b, ">=": a >= b,
+            }[operator]
+        self.sv_free(left)
+        self.sv_free(right)
+        return self.sv_new_num(1.0 if result else 0.0)
+
+    @traced
+    def eval_match(self, op: POp) -> SV:
+        """``EXPR =~ m/pat/``."""
+        subject = self.eval(op.kids[0])
+        text = self.str_of(subject)
+        self.sv_free(subject)
+        regex = self.get_regex(op.value)
+        hit = regex.match(text, self.xalloc)
+        return self.sv_new_num(1.0 if hit else 0.0)
+
+    @traced
+    def get_regex(self, pattern: str) -> Regex:
+        """The compiled (and cached) form of ``pattern``."""
+        regex = self.regex_cache.get(pattern)
+        if regex is None:
+            regex = compile_pattern(self.heap, pattern, self.xalloc)
+            self.regex_cache[pattern] = regex
+        return regex
+
+    # ------------------------------------------------------------------
+    # List-context evaluation and builtins
+    # ------------------------------------------------------------------
+
+    @traced
+    def eval_list(self, op: POp) -> List[SV]:
+        """Evaluate ``op`` in list context; returns owned SVs."""
+        kind = op.kind
+        if kind == "array":
+            av = self.arrays.get(op.value)
+            if av is None:
+                return []
+            self.heap.touch(av.slots, len(av.items))
+            return [self.sv_copy(sv) for sv in av.items]
+        if kind == "list":
+            return [self.eval(kid) for kid in op.kids]
+        if kind == "call":
+            return self.call_builtin_list(op)
+        return [self.eval(op)]
+
+    @traced
+    def call_builtin_scalar(self, op: POp) -> SV:
+        """A builtin call whose result is used in scalar context."""
+        name = op.value
+        if name == "push":
+            av = self.require_array(op.kids[0])
+            for arg in op.kids[1:]:
+                value = self.eval(arg)
+                # Perl's apush stores its own copy; the argument temporary
+                # dies at the statement boundary.  This gives pushed
+                # (often retained) values their own allocation site.
+                self.av_push(av, self.sv_store_copy(value))
+                self.sv_free(value)
+            return self.sv_new_num(float(len(av.items)))
+        if name in ("pop", "shift"):
+            av = self.require_array(op.kids[0])
+            if not av.items:
+                return self.sv_undef()
+            self.heap.touch(av.slots, 1)
+            return av.items.pop(-1 if name == "pop" else 0)
+        if name == "scalar":
+            values = self.eval_list(op.kids[0])
+            count = len(values)
+            for sv in values:
+                self.sv_free(sv)
+            return self.sv_new_num(float(count))
+        if name == "length":
+            sv = self.eval(op.kids[0])
+            text = self.str_of(sv)
+            self.sv_free(sv)
+            return self.sv_new_num(float(len(text)))
+        if name == "substr":
+            return self.builtin_substr(op)
+        if name == "chomp":
+            return self.builtin_chomp(op)
+        if name in ("uc", "lc"):
+            sv = self.eval(op.kids[0])
+            text = self.str_of(sv)
+            self.sv_free(sv)
+            return self.sv_new_str(
+                text.upper() if name == "uc" else text.lower()
+            )
+        if name == "defined":
+            sv = self.eval(op.kids[0])
+            result = sv.kind != "undef"
+            self.sv_free(sv)
+            return self.sv_new_num(1.0 if result else 0.0)
+        if name == "int":
+            sv = self.eval(op.kids[0])
+            value = float(int(self.num_of(sv)))
+            self.sv_free(sv)
+            return self.sv_new_num(value)
+        if name == "join":
+            return self.builtin_join(op)
+        if name == "sprintf":
+            return self.builtin_sprintf(op)
+        if name == "index":
+            haystack = self.eval(op.kids[0])
+            needle = self.eval(op.kids[1])
+            position = self.str_of(haystack).find(self.str_of(needle))
+            self.sv_free(haystack)
+            self.sv_free(needle)
+            return self.sv_new_num(float(position))
+        if name == "exists":
+            target = op.kids[0]
+            if target.kind != "hash-elem":
+                raise PerlRuntimeError("exists needs a $hash{key} argument")
+            key_sv = self.eval(target.kids[0])
+            key = self.str_of(key_sv)
+            self.sv_free(key_sv)
+            table = self.hashes.get(target.value, {})
+            return self.sv_new_num(1.0 if key in table else 0.0)
+        if name in ("sort", "reverse", "split", "keys"):
+            values = self.call_builtin_list(op)
+            for sv in values[:-1]:
+                self.sv_free(sv)
+            if values:
+                return values[-1]
+            return self.sv_undef()
+        raise PerlRuntimeError(f"unknown builtin {name!r}")
+
+    @traced
+    def call_builtin_list(self, op: POp) -> List[SV]:
+        """A builtin call in list context."""
+        name = op.value
+        if name == "sort":
+            values = self.eval_list(op.kids[0])
+            values.sort(key=self.str_of)
+            return values
+        if name == "reverse":
+            values = self.eval_list(op.kids[0])
+            values.reverse()
+            return values
+        if name == "split":
+            return self.builtin_split(op)
+        if name == "keys":
+            table = self.hashes.get(op.kids[0].value, {})
+            keys = []
+            for key, (entry, _) in table.items():
+                self.heap.touch(entry, 1)
+                keys.append(self.sv_new_str(key))
+            return keys
+        return [self.call_builtin_scalar(op)]
+
+    def require_array(self, op: POp) -> AV:
+        """The AV named by an ``@array`` argument, created on demand."""
+        if op.kind != "array":
+            raise PerlRuntimeError(
+                f"builtin needs an @array argument, got {op.kind}"
+            )
+        av = self.arrays.get(op.value)
+        if av is None:
+            av = self.arrays[op.value] = self.av_new()
+        return av
+
+    @traced
+    def builtin_split(self, op: POp) -> List[SV]:
+        """``split(/pat/, expr)``.
+
+        A single-atom pattern splits on characters matching that atom
+        (runs collapse, Perl's awk-like whitespace behaviour); longer
+        patterns split on their literal text.
+        """
+        if not op.kids or op.kids[0].kind != "pattern":
+            raise PerlRuntimeError("split needs a /pattern/ first argument")
+        pattern = op.kids[0].value
+        subject = self.eval(op.kids[1])
+        text = self.str_of(subject)
+        self.sv_free(subject)
+        regex = self.get_regex(pattern)
+        if len(regex.atoms) == 1:
+            atom = regex.atoms[0]
+            pieces: List[str] = []
+            current: List[str] = []
+            for ch in text:
+                self.heap.touch(regex.atoms[0].handle, 1)
+                if Regex._matches_atom(atom, ch):
+                    if current:
+                        pieces.append("".join(current))
+                        current = []
+                else:
+                    current.append(ch)
+            if current:
+                pieces.append("".join(current))
+        else:
+            pieces = [piece for piece in text.split(pattern) if piece != ""]
+        return [self.sv_new_str(piece) for piece in pieces]
+
+    @traced
+    def builtin_join(self, op: POp) -> SV:
+        sep_sv = self.eval(op.kids[0])
+        sep = self.str_of(sep_sv)
+        self.sv_free(sep_sv)
+        values = self.eval_list(op.kids[1])
+        text = sep.join(self.str_of(sv) for sv in values)
+        for sv in values:
+            self.sv_free(sv)
+        return self.sv_new_str(text)
+
+    @traced
+    def builtin_sprintf(self, op: POp) -> SV:
+        """``sprintf(fmt, args...)`` supporting %s, %d, %f, %x and %%.
+
+        The format scan allocates the output buffer the C implementation
+        builds; conversions coerce through the usual SV rules.
+        """
+        fmt_sv = self.eval(op.kids[0])
+        fmt = self.str_of(fmt_sv)
+        self.sv_free(fmt_sv)
+        args = [self.eval(kid) for kid in op.kids[1:]]
+        try:
+            pieces: List[str] = []
+            arg_index = 0
+            i = 0
+            while i < len(fmt):
+                ch = fmt[i]
+                if ch != "%":
+                    pieces.append(ch)
+                    i += 1
+                    continue
+                i += 1
+                if i >= len(fmt):
+                    raise PerlRuntimeError("sprintf: trailing %")
+                conv = fmt[i]
+                i += 1
+                if conv == "%":
+                    pieces.append("%")
+                    continue
+                if arg_index >= len(args):
+                    raise PerlRuntimeError(
+                        f"sprintf: not enough arguments for %{conv}"
+                    )
+                sv = args[arg_index]
+                arg_index += 1
+                if conv == "s":
+                    pieces.append(self.str_of(sv))
+                elif conv == "d":
+                    pieces.append(str(int(self.num_of(sv))))
+                elif conv == "f":
+                    pieces.append(f"{self.num_of(sv):f}")
+                elif conv == "x":
+                    pieces.append(format(int(self.num_of(sv)), "x"))
+                else:
+                    raise PerlRuntimeError(f"sprintf: unknown conversion %{conv}")
+            return self.sv_new_str("".join(pieces))
+        finally:
+            for sv in args:
+                self.sv_free(sv)
+
+    @traced
+    def builtin_substr(self, op: POp) -> SV:
+        subject = self.eval(op.kids[0])
+        start_sv = self.eval(op.kids[1])
+        text = self.str_of(subject)
+        start = int(self.num_of(start_sv))
+        self.sv_free(subject)
+        self.sv_free(start_sv)
+        if len(op.kids) > 2:
+            length_sv = self.eval(op.kids[2])
+            length = int(self.num_of(length_sv))
+            self.sv_free(length_sv)
+            return self.sv_new_str(text[start : start + length])
+        return self.sv_new_str(text[start:])
+
+    @traced
+    def builtin_chomp(self, op: POp) -> SV:
+        """``chomp($x)``: strip one trailing newline, in place."""
+        target = op.kids[0]
+        if target.kind != "scalar":
+            raise PerlRuntimeError("chomp needs a $scalar argument")
+        sv = self.scalars.get(target.value)
+        removed = 0
+        if sv is not None and sv.kind == "str" and sv.text.endswith("\n"):
+            sv.text = sv.text[:-1]
+            if sv.buf is not None:
+                self.heap.touch(sv.buf, 1)
+            removed = 1
+        return self.sv_new_num(float(removed))

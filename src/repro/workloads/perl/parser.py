@@ -1,0 +1,461 @@
+"""Lexer and parser for the mini-Perl (perl4-lite) language.
+
+The perl workload interprets a small report-extraction language in the
+spirit of Perl 4: scalars (``$x``), arrays (``@a``), hashes (``%h``),
+``while (<IN>)`` input loops, ``foreach``, list builtins (``push``,
+``split``, ``sort``, ``join``, ...), string operators (``.``, ``eq``),
+and ``=~ m/../`` regex matching backed by the regex-lite engine in
+:mod:`repro.workloads.perl.regex`.
+
+The grammar is deliberately a different shape from the mini-AWK language —
+the two interpreters model two unrelated C programs, and their allocation
+sites must differ the way gawk's and perl's do.
+
+AST vertices are traced allocations (Perl's op nodes); syntax errors raise
+:class:`PerlSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.heap import HeapObject
+
+__all__ = ["PerlSyntaxError", "POp", "PerlLexer", "PerlParser", "OP_SIZE"]
+
+#: Modelled size of a perl op-tree node.
+OP_SIZE = 40
+
+PToken = Tuple[str, object, int]
+
+_KEYWORDS = {"while", "foreach", "if", "else", "print", "my"}
+_BUILTINS = {
+    "push", "pop", "shift", "scalar", "sort", "reverse", "split", "join",
+    "length", "substr", "chomp", "uc", "lc", "keys", "defined", "int",
+    "sprintf", "index", "exists",
+}
+_TWO_CHAR = {"==", "!=", "<=", ">=", "=~", "&&", "||", "++", "--", "eq", "ne"}
+
+
+class PerlSyntaxError(Exception):
+    """Raised on malformed mini-Perl source."""
+
+
+class POp:
+    """One mini-Perl op-tree vertex, paired with its traced allocation."""
+
+    __slots__ = ("kind", "value", "kids", "handle")
+
+    def __init__(self, kind: str, value: object, kids: List["POp"],
+                 handle: HeapObject):
+        self.kind = kind
+        self.value = value
+        self.kids = kids
+        self.handle = handle
+
+    def __repr__(self) -> str:
+        return f"<pop {self.kind} {self.value!r} kids={len(self.kids)}>"
+
+
+class PerlLexer:
+    """Tokenizes mini-Perl source.
+
+    ``/`` starts a regex literal when it cannot be a division — after
+    ``(``, ``,``, or ``=~`` — and ``m/.../`` is always a regex.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self._prev: Optional[PToken] = None
+
+    def tokens(self) -> List[PToken]:
+        """The full token stream, ending with ``eof``."""
+        result: List[PToken] = []
+        while True:
+            tok = self._next()
+            result.append(tok)
+            self._prev = tok
+            if tok[0] == "eof":
+                return result
+
+    def _skip_space(self) -> None:
+        src, n = self.source, len(self.source)
+        while self.pos < n:
+            ch = src[self.pos]
+            if ch == "\n":
+                self.line += 1
+                self.pos += 1
+            elif ch in " \t\r":
+                self.pos += 1
+            elif ch == "#":
+                while self.pos < n and src[self.pos] != "\n":
+                    self.pos += 1
+            else:
+                return
+
+    def _next(self) -> PToken:
+        self._skip_space()
+        src, n = self.source, len(self.source)
+        if self.pos >= n:
+            return ("eof", None, self.line)
+        ch = src[self.pos]
+        if ch in "$@%" and self.pos + 1 < n and (
+            src[self.pos + 1].isalpha() or src[self.pos + 1] == "_"
+        ):
+            sigil = {"$": "scalar-var", "@": "array-var", "%": "hash-var"}[ch]
+            self.pos += 1
+            return (sigil, self._word(), self.line)
+        if ch.isdigit():
+            return self._number()
+        if ch == '"':
+            return self._string()
+        if ch == "<" and src[self.pos : self.pos + 4] == "<IN>":
+            self.pos += 4
+            return ("readline", None, self.line)
+        if ch.isalpha() or ch == "_":
+            start_line = self.line
+            word = self._word()
+            if word == "m" and self.pos < n and src[self.pos] == "/":
+                return ("regex", self._regex_body(), start_line)
+            if word in _KEYWORDS:
+                return (word, word, start_line)
+            if word in _BUILTINS:
+                return ("builtin", word, start_line)
+            if word in ("eq", "ne", "lt", "gt"):
+                return ("op", word, start_line)
+            return ("bareword", word, start_line)
+        if ch == "/" and self._regex_position():
+            self.pos += 1
+            # Rewind: _regex_body expects pos at the opening slash.
+            self.pos -= 1
+            return ("regex", self._regex_body(), self.line)
+        two = src[self.pos : self.pos + 2]
+        if two in _TWO_CHAR:
+            self.pos += 2
+            return ("op", two, self.line)
+        if ch in "+-*/%<>=!.,;(){}[]":
+            self.pos += 1
+            return ("op", ch, self.line)
+        raise PerlSyntaxError(f"line {self.line}: unexpected character {ch!r}")
+
+    def _regex_position(self) -> bool:
+        if self._prev is None:
+            return True
+        kind, value, _ = self._prev
+        return kind == "op" and value in ("(", ",", "=~")
+
+    def _word(self) -> str:
+        src, n = self.source, len(self.source)
+        start = self.pos
+        while self.pos < n and (src[self.pos].isalnum() or src[self.pos] == "_"):
+            self.pos += 1
+        return src[start : self.pos]
+
+    def _number(self) -> PToken:
+        src, n = self.source, len(self.source)
+        start = self.pos
+        while self.pos < n and (src[self.pos].isdigit() or src[self.pos] == "."):
+            self.pos += 1
+        return ("number", float(src[start : self.pos]), self.line)
+
+    def _string(self) -> PToken:
+        self.pos += 1
+        chars: List[str] = []
+        src, n = self.source, len(self.source)
+        while self.pos < n and src[self.pos] != '"':
+            ch = src[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                self.pos += 1
+                ch = {"n": "\n", "t": "\t"}.get(src[self.pos], src[self.pos])
+            chars.append(ch)
+            self.pos += 1
+        if self.pos >= n:
+            raise PerlSyntaxError(f"line {self.line}: unterminated string")
+        self.pos += 1
+        return ("string", "".join(chars), self.line)
+
+    def _regex_body(self) -> str:
+        if self.source[self.pos] != "/":
+            raise PerlSyntaxError(f"line {self.line}: expected regex")
+        self.pos += 1
+        chars: List[str] = []
+        src, n = self.source, len(self.source)
+        while self.pos < n and src[self.pos] != "/":
+            ch = src[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                chars.append(ch)
+                self.pos += 1
+                ch = src[self.pos]
+            chars.append(ch)
+            self.pos += 1
+        if self.pos >= n:
+            raise PerlSyntaxError(f"line {self.line}: unterminated regex")
+        self.pos += 1
+        return "".join(chars)
+
+
+class PerlParser:
+    """Recursive-descent parser building a traced op tree."""
+
+    def __init__(self, tokens: List[PToken],
+                 alloc_op: Callable[[], HeapObject]):
+        self._tokens = tokens
+        self._index = 0
+        self._alloc_op = alloc_op
+
+    def _peek(self, ahead: int = 0) -> PToken:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> PToken:
+        tok = self._tokens[self._index]
+        if tok[0] != "eof":
+            self._index += 1
+        return tok
+
+    def _match(self, kind: str, value: Optional[object] = None) -> bool:
+        tok = self._peek()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            return False
+        self._advance()
+        return True
+
+    def _expect(self, kind: str, value: Optional[object] = None) -> PToken:
+        tok = self._peek()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            want = value if value is not None else kind
+            raise PerlSyntaxError(
+                f"line {tok[2]}: expected {want!r}, found {tok[1]!r}"
+            )
+        return self._advance()
+
+    def _op(self, kind: str, value: object = None,
+            kids: Optional[List[POp]] = None) -> POp:
+        return POp(kind, value, kids or [], self._alloc_op())
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> List[POp]:
+        """Parse the whole script as a statement list."""
+        stmts = []
+        while self._peek()[0] != "eof":
+            stmts.append(self._statement())
+        return stmts
+
+    def _statement(self) -> POp:
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "{":
+            return self._block()
+        if tok[0] == "while":
+            return self._while()
+        if tok[0] == "foreach":
+            return self._foreach()
+        if tok[0] == "if":
+            return self._if()
+        if tok[0] == "print":
+            return self._print()
+        expr = self._expression()
+        self._expect("op", ";")
+        return self._op("expr-stmt", None, [expr])
+
+    def _block(self) -> POp:
+        self._expect("op", "{")
+        stmts = []
+        while not self._match("op", "}"):
+            if self._peek()[0] == "eof":
+                raise PerlSyntaxError("unexpected end of script in block")
+            stmts.append(self._statement())
+        return self._op("block", None, stmts)
+
+    def _while(self) -> POp:
+        self._expect("while")
+        self._expect("op", "(")
+        if self._peek()[0] == "readline":
+            self._advance()
+            self._expect("op", ")")
+            return self._op("while-read", None, [self._block()])
+        cond = self._expression()
+        self._expect("op", ")")
+        return self._op("while", None, [cond, self._block()])
+
+    def _foreach(self) -> POp:
+        self._expect("foreach")
+        var = self._expect("scalar-var")[1]
+        self._expect("op", "(")
+        source = self._expression()
+        self._expect("op", ")")
+        return self._op("foreach", var, [source, self._block()])
+
+    def _if(self) -> POp:
+        self._expect("if")
+        self._expect("op", "(")
+        cond = self._expression()
+        self._expect("op", ")")
+        then = self._block()
+        kids = [cond, then]
+        if self._match("else"):
+            if self._peek()[0] == "if":
+                kids.append(self._if())
+            else:
+                kids.append(self._block())
+        return self._op("if", None, kids)
+
+    def _print(self) -> POp:
+        self._expect("print")
+        args = [self._expression()]
+        while self._match("op", ","):
+            args.append(self._expression())
+        self._expect("op", ";")
+        return self._op("print", None, args)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expression(self) -> POp:
+        return self._assign()
+
+    def _assign(self) -> POp:
+        target = self._logical()
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "=":
+            if target.kind not in (
+                "scalar", "array", "hash", "array-elem", "hash-elem"
+            ):
+                raise PerlSyntaxError(
+                    f"line {tok[2]}: cannot assign to {target.kind}"
+                )
+            self._advance()
+            return self._op("assign", None, [target, self._assign()])
+        return target
+
+    def _logical(self) -> POp:
+        left = self._comparison()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] in ("&&", "||"):
+                self._advance()
+                left = self._op("logical", tok[1], [left, self._comparison()])
+            else:
+                return left
+
+    def _comparison(self) -> POp:
+        left = self._match_expr()
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] in (
+            "==", "!=", "<", "<=", ">", ">=", "eq", "ne", "lt", "gt"
+        ):
+            self._advance()
+            return self._op("compare", tok[1], [left, self._match_expr()])
+        return left
+
+    def _match_expr(self) -> POp:
+        left = self._concat()
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "=~":
+            self._advance()
+            pattern = self._expect("regex")
+            return self._op("match", pattern[1], [left])
+        return left
+
+    def _concat(self) -> POp:
+        left = self._additive()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] == ".":
+                self._advance()
+                left = self._op("concat", None, [left, self._additive()])
+            else:
+                return left
+
+    def _additive(self) -> POp:
+        left = self._multiplicative()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] in ("+", "-"):
+                self._advance()
+                left = self._op(
+                    "arith", tok[1], [left, self._multiplicative()]
+                )
+            else:
+                return left
+
+    def _multiplicative(self) -> POp:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            if tok[0] == "op" and tok[1] in ("*", "/", "%"):
+                self._advance()
+                left = self._op("arith", tok[1], [left, self._unary()])
+            elif tok[0] == "bareword" and tok[1] == "x":
+                # Perl's string-repetition operator.
+                self._advance()
+                left = self._op("repeat", None, [left, self._unary()])
+            else:
+                return left
+
+    def _unary(self) -> POp:
+        tok = self._peek()
+        if tok[0] == "op" and tok[1] == "-":
+            self._advance()
+            return self._op("neg", None, [self._unary()])
+        if tok[0] == "op" and tok[1] == "!":
+            self._advance()
+            return self._op("not", None, [self._unary()])
+        return self._primary()
+
+    def _primary(self) -> POp:
+        tok = self._advance()
+        kind, value, line = tok
+        if kind == "number":
+            return self._op("number", value)
+        if kind == "string":
+            return self._op("string", value)
+        if kind == "readline":
+            return self._op("readline", None)
+        if kind == "scalar-var":
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return self._op("array-elem", value, [index])
+            if self._match("op", "{"):
+                key = self._expression()
+                self._expect("op", "}")
+                return self._op("hash-elem", value, [key])
+            return self._op("scalar", value)
+        if kind == "array-var":
+            return self._op("array", value)
+        if kind == "hash-var":
+            return self._op("hash", value)
+        if kind == "builtin":
+            return self._builtin_call(value, line)
+        if kind == "op" and value == "(":
+            first = self._expression()
+            if self._peek()[0] == "op" and self._peek()[1] == ",":
+                items = [first]
+                while self._match("op", ","):
+                    items.append(self._expression())
+                self._expect("op", ")")
+                return self._op("list", None, items)
+            self._expect("op", ")")
+            return first
+        raise PerlSyntaxError(f"line {line}: unexpected token {value!r}")
+
+    def _builtin_call(self, name: str, line: int) -> POp:
+        self._expect("op", "(")
+        args: List[POp] = []
+        if not self._match("op", ")"):
+            while True:
+                if self._peek()[0] == "regex":
+                    pattern = self._advance()
+                    args.append(self._op("pattern", pattern[1]))
+                else:
+                    args.append(self._expression())
+                if self._match("op", ")"):
+                    break
+                self._expect("op", ",")
+        return self._op("call", name, args)

@@ -1,0 +1,18 @@
+"""Compatibility shim: the regex-lite engine lives in
+:mod:`repro.workloads.regexlite` (shared with the gawk workload)."""
+
+from repro.workloads.regexlite import (  # noqa: F401
+    MATCH_STATE_SIZE,
+    RX_NODE_SIZE,
+    Regex,
+    RegexError,
+    compile_pattern,
+)
+
+__all__ = [
+    "MATCH_STATE_SIZE",
+    "RX_NODE_SIZE",
+    "Regex",
+    "RegexError",
+    "compile_pattern",
+]

@@ -1,0 +1,135 @@
+"""The perl workload: report extraction with mini-Perl.
+
+The paper's PERL inputs were "two distinct PERL programs operating on
+distinct inputs" — its scripts "sorted the contents of a file and
+formatted the words in a dictionary into filled paragraphs" — and because
+the *programs* differed between training and test, PERL showed the paper's
+weakest true prediction (20.4% of bytes, against 91.4% for self
+prediction, with a 1.11% error rate).
+
+This workload reproduces that setup:
+
+* ``train`` runs a **sort/report script**: read every line, keep them all,
+  count words per line with ``split``, flag numeric lines with a regex,
+  sort and print.  Retained line scalars are long-lived; split and
+  comparison temporaries are short-lived.
+* ``test`` runs a **paragraph-filling script** (a different program) over
+  a different input: word-splitting and string concatenation churn at
+  sites the sort script never exercises.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.heap import TracedHeap, traced
+from repro.workloads.base import DatasetSpec, Workload
+from repro.workloads.inputs import text_lines, word_list
+from repro.workloads.perl.interp import PerlInterp
+
+__all__ = ["PerlWorkload", "SORT_SCRIPT", "FILL_SCRIPT"]
+
+#: Training program: sort a file's lines and report word/number counts.
+SORT_SCRIPT = """
+while (<IN>) {
+  chomp($_);
+  push(@lines, $_);
+  $words = $words + scalar(split(/ /, $_));
+  if ($_ =~ m/[0-9]+/) {
+    $numeric = $numeric + 1;
+  }
+}
+@sorted = sort(@lines);
+foreach $l (@sorted) {
+  print $l, "\\n";
+}
+print "lines:", scalar(@lines), " words:", $words,
+      " numeric:", $numeric, "\\n";
+"""
+
+#: Test program: fill dictionary words into 60-column paragraphs.
+FILL_SCRIPT = """
+$line = "";
+while (<IN>) {
+  chomp($_);
+  @w = split(/ /, $_);
+  foreach $word (@w) {
+    if (length($line) + length($word) + 1 > 60) {
+      print $line, "\\n";
+      $line = $word;
+    } else {
+      if ($line eq "") {
+        $line = $word;
+      } else {
+        $line = $line . " " . $word;
+      }
+    }
+  }
+}
+print $line, "\\n";
+"""
+
+
+class PerlWorkload(Workload):
+    """Run one of two distinct mini-Perl report scripts."""
+
+    name = "perl"
+    DATASETS = {
+        "train": DatasetSpec(
+            "train",
+            "sort/report script over a numbered record file (seed 4001)",
+            relation="a different program from test, as in the paper",
+        ),
+        "test": DatasetSpec(
+            "test",
+            "paragraph-fill script over a dictionary (seed 5002)",
+            relation="a different program from train, as in the paper",
+        ),
+        "tiny": DatasetSpec("tiny", "fill script over 30 lines, for tests"),
+    }
+
+    def __init__(self, heap: TracedHeap):
+        super().__init__(heap)
+        self.interp = PerlInterp(heap)
+
+    def run(self, dataset: str, scale: float = 1.0) -> None:
+        self.dataset_spec(dataset)
+        if dataset == "train":
+            lines = _record_file(count=max(10, round(420 * scale)), seed=4001)
+            self.execute(SORT_SCRIPT, lines)
+        elif dataset == "test":
+            lines = _dictionary_file(
+                count=max(10, round(600 * scale)), seed=5002
+            )
+            self.execute(FILL_SCRIPT, lines)
+        else:  # tiny
+            self.execute(FILL_SCRIPT, _dictionary_file(count=30, seed=77))
+
+    @traced
+    def execute(self, script: str, lines: list) -> None:
+        """Compile and run ``script`` over input ``lines``."""
+        self.interp.compile(script)
+        self.interp.run(lines)
+
+    @property
+    def output(self) -> list:
+        """Lines printed by the script."""
+        return self.interp.output
+
+
+def _record_file(count: int, seed: int) -> list:
+    """Report-style records: words with interspersed numeric fields."""
+    lines = text_lines(count, seed=seed, words_per_line=(3, 8))
+    result = []
+    for index, line in enumerate(lines):
+        if index % 3 == 0:
+            result.append(f"{line} {index * 7 % 1000}")
+        else:
+            result.append(line)
+    return result
+
+
+def _dictionary_file(count: int, seed: int) -> list:
+    """Dictionary-style lines: a few words each."""
+    words = word_list(count * 4, seed=seed)
+    return [
+        " ".join(words[i : i + 4]) for i in range(0, len(words) - 4, 4)
+    ][:count]

@@ -1,0 +1,45 @@
+"""Workload registry: the five programs by name.
+
+The analysis drivers, CLI, benchmarks, and examples all reach workloads
+through this table so that "run cfrac's train input" is one call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.runtime.events import Trace
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.cfrac import CfracWorkload
+from repro.workloads.espresso import EspressoWorkload
+from repro.workloads.gawk import GawkWorkload
+from repro.workloads.ghost import GhostWorkload
+from repro.workloads.perl import PerlWorkload
+
+__all__ = ["WORKLOADS", "PROGRAM_ORDER", "get_workload", "run_workload"]
+
+#: The paper's program order, used by every table.
+PROGRAM_ORDER: List[str] = ["cfrac", "espresso", "gawk", "ghost", "perl"]
+
+WORKLOADS: Dict[str, Type[Workload]] = {
+    CfracWorkload.name: CfracWorkload,
+    EspressoWorkload.name: EspressoWorkload,
+    GawkWorkload.name: GawkWorkload,
+    GhostWorkload.name: GhostWorkload,
+    PerlWorkload.name: PerlWorkload,
+}
+
+
+def get_workload(name: str) -> Type[Workload]:
+    """The workload class registered under ``name``."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r} (have {sorted(WORKLOADS)})"
+        ) from None
+
+
+def run_workload(name: str, dataset: str = "train", scale: float = 1.0) -> Trace:
+    """Run one workload on one dataset and return its trace."""
+    return get_workload(name).trace(dataset, scale=scale)

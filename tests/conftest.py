@@ -1,0 +1,93 @@
+"""Shared fixtures: small synthetic traces and tiny workload runs.
+
+Workload traces are expensive relative to unit tests, so the tiny-dataset
+traces are session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.registry import WORKLOADS
+
+
+def make_churn_trace(
+    objects: int = 400,
+    window: int = 4,
+    sizes=(16, 24, 32, 40),
+    program: str = "synthetic",
+    keeper_size: int = 2048,
+):
+    """A synthetic trace: a churn loop plus one long-lived object.
+
+    Objects are allocated under ``work > helper`` and freed ``window``
+    allocations later, so every churn object's lifetime is a few hundred
+    bytes (a bit over ``keeper_size`` for the handful that span the keeper
+    allocation).  One ``keeper`` object allocated mid-run survives to the
+    end, so its exit lifetime is about half the total churn volume.  With
+    the defaults, a threshold of 4096 separates churn (short) from the
+    keeper (long).  Returns the finished trace.
+    """
+    heap = TracedHeap(program, dataset="synthetic")
+    live = []
+    with heap.frame("work"):
+        for index in range(objects):
+            if index == objects // 2:
+                with heap.frame("keeper"):
+                    heap.malloc(keeper_size)
+            with heap.frame("helper"):
+                obj = heap.malloc(sizes[index % len(sizes)])
+            heap.touch(obj, 2)
+            live.append(obj)
+            if len(live) > window:
+                heap.free(live.pop(0))
+        for obj in live:
+            heap.free(obj)
+    return heap.finish()
+
+
+@pytest.fixture
+def churn_trace():
+    """A fresh small synthetic churn trace."""
+    return make_churn_trace()
+
+
+def _tiny_trace(name: str):
+    return WORKLOADS[name].trace("tiny")
+
+
+@pytest.fixture(scope="session")
+def cfrac_tiny():
+    """Session-scoped cfrac tiny trace (read-only)."""
+    return _tiny_trace("cfrac")
+
+
+@pytest.fixture(scope="session")
+def espresso_tiny():
+    """Session-scoped espresso tiny trace (read-only)."""
+    return _tiny_trace("espresso")
+
+
+@pytest.fixture(scope="session")
+def gawk_tiny():
+    """Session-scoped gawk tiny trace (read-only)."""
+    return _tiny_trace("gawk")
+
+
+@pytest.fixture(scope="session")
+def ghost_tiny():
+    """Session-scoped ghost tiny trace (read-only)."""
+    return _tiny_trace("ghost")
+
+
+@pytest.fixture(scope="session")
+def perl_tiny():
+    """Session-scoped perl tiny trace (read-only)."""
+    return _tiny_trace("perl")
+
+
+@pytest.fixture(scope="session", params=sorted(WORKLOADS))
+def any_tiny_trace(request):
+    """Parametrized over every workload's tiny trace."""
+    return _tiny_trace(request.param)

@@ -1,0 +1,52 @@
+"""Unit tests for the simulated address space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.address_space import AddressSpace
+
+
+class TestAddressSpace:
+    def test_initial_state(self):
+        space = AddressSpace(base=100, increment=1024)
+        assert space.brk == 100
+        assert space.heap_size == 0
+        assert space.max_heap_size == 0
+
+    def test_sbrk_returns_old_break(self):
+        space = AddressSpace(increment=1024)
+        assert space.sbrk(100) == 0
+        assert space.brk == 1024  # rounded up to the increment
+
+    def test_sbrk_rounding(self):
+        space = AddressSpace(increment=4096)
+        space.sbrk(4097)
+        assert space.heap_size == 8192
+
+    def test_max_tracks_high_water(self):
+        space = AddressSpace(increment=8)
+        space.sbrk(8)
+        space.sbrk(16)
+        assert space.max_heap_size == 24
+
+    def test_contains(self):
+        space = AddressSpace(base=10, increment=8)
+        space.sbrk(8)
+        assert space.contains(10)
+        assert space.contains(17)
+        assert not space.contains(18)
+        assert not space.contains(9)
+
+    def test_rejects_bad_sbrk(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.sbrk(0)
+        with pytest.raises(ValueError):
+            space.sbrk(-8)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            AddressSpace(increment=0)
+        with pytest.raises(ValueError):
+            AddressSpace(base=-1)

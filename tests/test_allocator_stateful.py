@@ -1,0 +1,167 @@
+"""Hypothesis stateful tests: allocators under arbitrary traffic.
+
+A rule-based state machine issues interleaved mallocs and frees to all
+three allocator simulators in lockstep, with heap invariants audited at
+every step.  This is failure injection by search: hypothesis shrinks any
+sequence of operations that corrupts a heap to a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.alloc.arena import ArenaAllocator
+from repro.alloc.bsd import BsdAllocator
+from repro.alloc.firstfit import FirstFitAllocator
+from repro.core.predictor import SitePredictor
+from repro.core.sites import FULL_CHAIN, site_key
+
+#: A few allocation contexts: "hot" is predicted short-lived at common
+#: sizes, the rest are not.
+CHAINS = {
+    "hot": ("main", "loop", "hot"),
+    "cold": ("main", "setup", "cold"),
+    "deep": ("main", "a", "b", "c", "deep"),
+}
+SIZES = [1, 8, 16, 24, 40, 100, 256, 1000, 3000, 5000]
+
+
+def hot_predictor() -> SitePredictor:
+    sites = frozenset(
+        site_key(CHAINS["hot"], size, FULL_CHAIN, 4) for size in SIZES
+    )
+    return SitePredictor(
+        sites, threshold=32 * 1024, chain_length=FULL_CHAIN, size_rounding=4
+    )
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Drives first-fit, BSD, and arena allocators with the same traffic."""
+
+    @initialize()
+    def setup(self):
+        self.allocators = {
+            "firstfit": FirstFitAllocator(sbrk_increment=1024),
+            "bsd": BsdAllocator(),
+            "arena": ArenaAllocator(hot_predictor(), num_arenas=4,
+                                    arena_size=1024),
+        }
+        self.live = []  # list of (addr-per-allocator dict, size)
+        self.expected_bytes = 0
+
+    @rule(
+        chain=st.sampled_from(sorted(CHAINS)),
+        size=st.sampled_from(SIZES),
+    )
+    def malloc(self, chain, size):
+        addrs = {
+            name: allocator.malloc(size, CHAINS[chain])
+            for name, allocator in self.allocators.items()
+        }
+        self.live.append((addrs, size))
+        self.expected_bytes += size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        addrs, size = self.live.pop(index)
+        for name, allocator in self.allocators.items():
+            allocator.free(addrs[name])
+        self.expected_bytes -= size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_lifo(self, data):
+        # LIFO frees drive the arena-recycling path hard.
+        addrs, size = self.live.pop()
+        for name, allocator in self.allocators.items():
+            allocator.free(addrs[name])
+        self.expected_bytes -= size
+
+    @invariant()
+    def live_bytes_agree(self):
+        if not hasattr(self, "allocators"):
+            return
+        for name, allocator in self.allocators.items():
+            assert allocator.live_bytes == self.expected_bytes, name
+
+    @invariant()
+    def heaps_are_sound(self):
+        if not hasattr(self, "allocators"):
+            return
+        for allocator in self.allocators.values():
+            allocator.check_invariants()
+
+    @invariant()
+    def addresses_unique_per_allocator(self):
+        if not hasattr(self, "allocators"):
+            return
+        for name in self.allocators:
+            addrs = [entry[0][name] for entry in self.live]
+            assert len(addrs) == len(set(addrs)), name
+
+
+AllocatorMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)
+TestAllocatorMachine = AllocatorMachine.TestCase
+
+
+class MultiArenaMachine(RuleBasedStateMachine):
+    """Drives the multi-class arena allocator with banded traffic."""
+
+    @initialize()
+    def setup(self):
+        from repro.alloc.multiarena import MultiArenaAllocator
+        from repro.core.multiclass import MultiClassPredictor
+
+        classes = {}
+        for size in SIZES:
+            classes[site_key(CHAINS["hot"], size, FULL_CHAIN, 4)] = 0
+            classes[site_key(CHAINS["deep"], size, FULL_CHAIN, 4)] = 1
+        predictor = MultiClassPredictor(
+            classes, thresholds=(2048, 16384),
+            chain_length=FULL_CHAIN, size_rounding=4,
+        )
+        self.allocator = MultiArenaAllocator(predictor, arenas_per_area=4)
+        self.live = []
+        self.expected_bytes = 0
+
+    @rule(
+        chain=st.sampled_from(sorted(CHAINS)),
+        size=st.sampled_from(SIZES),
+    )
+    def malloc(self, chain, size):
+        addr = self.allocator.malloc(size, CHAINS[chain])
+        self.live.append((addr, size))
+        self.expected_bytes += size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        addr, size = self.live.pop(index)
+        self.allocator.free(addr)
+        self.expected_bytes -= size
+
+    @invariant()
+    def sound(self):
+        if not hasattr(self, "allocator"):
+            return
+        self.allocator.check_invariants()
+        assert self.allocator.live_bytes == self.expected_bytes
+
+
+MultiArenaMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
+TestMultiArenaMachine = MultiArenaMachine.TestCase

@@ -1,0 +1,110 @@
+"""Unit tests for the BSD power-of-two allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.base import AllocatorError
+from repro.alloc.bsd import (
+    BSD_HEADER_SIZE,
+    MIN_BUCKET,
+    PAGE_SIZE,
+    BsdAllocator,
+    bucket_for,
+)
+
+
+class TestBucketFor:
+    def test_smallest_class(self):
+        assert bucket_for(1) == MIN_BUCKET
+
+    def test_header_included(self):
+        # 16 bytes + 4-byte header needs the 32-byte class.
+        assert bucket_for(16) == 5
+        assert bucket_for(12) == MIN_BUCKET
+
+    def test_power_boundaries(self):
+        assert bucket_for(28) == 5  # 28 + 4 == 32 exactly
+        assert bucket_for(29) == 6
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AllocatorError):
+            bucket_for(0)
+
+
+class TestAllocation:
+    def test_alloc_free_cycle(self):
+        alloc = BsdAllocator()
+        addr = alloc.malloc(100)
+        assert alloc.live_bytes == 100
+        alloc.free(addr)
+        assert alloc.live_bytes == 0
+        alloc.check_invariants()
+
+    def test_lifo_reuse(self):
+        alloc = BsdAllocator()
+        addr = alloc.malloc(100)
+        alloc.free(addr)
+        assert alloc.malloc(100) == addr  # popped right back off the bucket
+
+    def test_no_reuse_across_buckets(self):
+        alloc = BsdAllocator()
+        small = alloc.malloc(10)
+        alloc.free(small)
+        large = alloc.malloc(1000)
+        assert large != small
+
+    def test_refill_carves_whole_page(self):
+        alloc = BsdAllocator()
+        alloc.malloc(28)  # 32-byte class: one page yields 128 blocks
+        assert alloc.ops.sbrks == 1
+        for _ in range(127):
+            alloc.malloc(28)
+        assert alloc.ops.sbrks == 1  # still the first page
+        alloc.malloc(28)
+        assert alloc.ops.sbrks == 2
+
+    def test_oversized_block_gets_own_chunk(self):
+        alloc = BsdAllocator()
+        alloc.malloc(2 * PAGE_SIZE)
+        assert alloc.max_heap_size >= 2 * PAGE_SIZE
+
+    def test_never_returns_memory(self):
+        alloc = BsdAllocator()
+        addrs = [alloc.malloc(500) for _ in range(20)]
+        peak = alloc.max_heap_size
+        for addr in addrs:
+            alloc.free(addr)
+        assert alloc.max_heap_size == peak
+
+    def test_addresses_distinct(self):
+        alloc = BsdAllocator()
+        addrs = [alloc.malloc(60) for _ in range(100)]
+        assert len(set(addrs)) == 100
+        alloc.check_invariants()
+
+    def test_space_waste_of_power_of_two(self):
+        # 33 bytes lands in the 64-byte class: the classic BSD waste.
+        alloc = BsdAllocator()
+        for _ in range(64):
+            alloc.malloc(33)
+        assert alloc.max_heap_size >= 64 * 64
+
+
+class TestErrors:
+    def test_unknown_free(self):
+        alloc = BsdAllocator()
+        with pytest.raises(AllocatorError):
+            alloc.free(12345)
+
+    def test_double_free(self):
+        alloc = BsdAllocator()
+        addr = alloc.malloc(16)
+        alloc.free(addr)
+        with pytest.raises(AllocatorError):
+            alloc.free(addr)
+
+    def test_header_offset(self):
+        alloc = BsdAllocator()
+        addr = alloc.malloc(16)
+        assert addr % (1 << MIN_BUCKET) == BSD_HEADER_SIZE

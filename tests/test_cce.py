@@ -1,0 +1,104 @@
+"""Unit and property tests for call-chain encryption."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cce import (
+    KEY_BITS,
+    collision_report,
+    encrypt_chain,
+    function_id,
+    train_cce_predictor,
+)
+from repro.core.predictor import evaluate, train_site_predictor
+from tests.conftest import make_churn_trace
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=5)
+
+
+class TestFunctionId:
+    def test_deterministic(self):
+        assert function_id("malloc") == function_id("malloc")
+
+    def test_within_bit_width(self):
+        for name in ("a", "main", "xmalloc", "a" * 100):
+            assert 0 <= function_id(name) < (1 << KEY_BITS)
+
+    def test_narrow_width(self):
+        assert 0 <= function_id("main", bits=4) < 16
+
+    @given(names, names)
+    def test_mostly_distinct(self, a, b):
+        # Not a guarantee (16-bit ids collide), but equal names must agree.
+        if a == b:
+            assert function_id(a) == function_id(b)
+
+
+class TestEncryptChain:
+    def test_empty_chain_is_zero(self):
+        assert encrypt_chain(()) == 0
+
+    def test_single_frame_is_its_id(self):
+        assert encrypt_chain(("main",)) == function_id("main")
+
+    def test_call_return_inverse(self):
+        # XORing a frame in and out restores the key - the property that
+        # lets compiled code maintain the key incrementally.
+        base = encrypt_chain(("main", "a"))
+        extended = base ^ function_id("b")
+        assert extended == encrypt_chain(("main", "a", "b"))
+        assert extended ^ function_id("b") == base
+
+    @given(st.lists(names, min_size=0, max_size=10))
+    def test_key_in_range(self, chain):
+        assert 0 <= encrypt_chain(chain) < (1 << KEY_BITS)
+
+    @given(st.lists(names, min_size=2, max_size=6))
+    def test_order_insensitive(self, chain):
+        # A documented weakness of the scheme: XOR ignores frame order.
+        assert encrypt_chain(chain) == encrypt_chain(list(reversed(chain)))
+
+
+class TestCCEPredictor:
+    def test_self_prediction_close_to_site_predictor(self):
+        trace = make_churn_trace(objects=300)
+        site = evaluate(train_site_predictor(trace, threshold=4096), trace)
+        cce = evaluate(train_cce_predictor(trace, threshold=4096), trace)
+        # With so few chains there are no collisions, so CCE matches.
+        assert abs(cce.predicted_pct - site.predicted_pct) < 1.0
+
+    def test_long_lived_collision_disqualifies(self, churn_trace):
+        predictor = train_cce_predictor(churn_trace, threshold=4096)
+        assert not predictor.predicts_short_lived(
+            ("main", "work", "keeper"), 2048
+        )
+
+    def test_site_count(self, churn_trace):
+        predictor = train_cce_predictor(churn_trace, threshold=4096)
+        assert predictor.site_count == len(predictor.keys)
+
+
+class TestCollisionReport:
+    def test_no_chains(self):
+        report = collision_report([])
+        assert report.chains == 0
+        assert report.collision_rate == 0.0
+
+    def test_distinct_chains_wide_keys(self):
+        chains = [("main", f"f{i}") for i in range(50)]
+        report = collision_report(chains, bits=KEY_BITS)
+        assert report.chains == 50
+        assert report.worst_bucket >= 1
+
+    def test_narrow_keys_collide(self):
+        chains = [("main", f"f{i}") for i in range(64)]
+        report = collision_report(chains, bits=2)
+        assert report.distinct_keys <= 4
+        assert report.colliding_chains > 0
+        assert 0 < report.collision_rate <= 1.0
+
+    def test_duplicate_chains_counted_once(self):
+        report = collision_report([("a", "b"), ("a", "b")])
+        assert report.chains == 1

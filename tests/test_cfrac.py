@@ -1,0 +1,226 @@
+"""Tests for the cfrac workload: bignum library and factorizer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.cfrac.bignum import BIGNUM_HEADER, LIMB_BYTES, BignumLib
+from repro.workloads.cfrac.cfrac import CfracWorkload, _odd_primes
+
+
+@pytest.fixture
+def bn():
+    return BignumLib(TracedHeap("cfrac-test"))
+
+
+class TestBignumLib:
+    def test_new_and_value(self, bn):
+        x = bn.bn_new(12345)
+        assert bn.value(x) == 12345
+
+    def test_size_models_limbs(self, bn):
+        small = bn.bn_new(1)
+        assert small.size == BIGNUM_HEADER + LIMB_BYTES
+        big = bn.bn_new(2**64)
+        assert big.size == BIGNUM_HEADER + 3 * LIMB_BYTES
+
+    def test_arithmetic(self, bn):
+        a, b = bn.bn_new(1000), bn.bn_new(37)
+        assert bn.value(bn.add(a, b)) == 1037
+        assert bn.value(bn.sub(a, b)) == 963
+        assert bn.value(bn.mul(a, b)) == 37000
+        q, r = bn.divmod(a, b)
+        assert (bn.value(q), bn.value(r)) == (27, 1)
+        assert bn.value(bn.mod(a, b)) == 1
+
+    def test_mulmod(self, bn):
+        a, b, m = bn.bn_new(123), bn.bn_new(456), bn.bn_new(789)
+        assert bn.value(bn.mulmod(a, b, m)) == 123 * 456 % 789
+
+    def test_gcd(self, bn):
+        a, b = bn.bn_new(462), bn.bn_new(1071)
+        assert bn.value(bn.gcd(a, b)) == 21
+
+    def test_isqrt(self, bn):
+        assert bn.value(bn.isqrt(bn.bn_new(10**10))) == 10**5
+
+    def test_copy_independent(self, bn):
+        a = bn.bn_new(5)
+        c = bn.copy(a)
+        bn.free(a)
+        assert bn.value(c) == 5
+
+    def test_is_zero(self, bn):
+        assert bn.is_zero(bn.bn_new(0))
+        assert not bn.is_zero(bn.bn_new(1))
+
+    def test_free_balances_heap(self):
+        heap = TracedHeap("cfrac-test")
+        lib = BignumLib(heap)
+        x = lib.bn_new(10)
+        y = lib.bn_new(20)
+        z = lib.add(x, y)
+        for obj in (x, y, z):
+            lib.free(obj)
+        assert heap.live_objects == 0
+
+    @given(st.integers(min_value=0, max_value=2**80),
+           st.integers(min_value=1, max_value=2**80))
+    @settings(max_examples=50, deadline=None)
+    def test_divmod_invariant(self, a_val, b_val):
+        lib = BignumLib(TracedHeap("cfrac-prop"))
+        a, b = lib.bn_new(a_val), lib.bn_new(b_val)
+        q, r = lib.divmod(a, b)
+        assert lib.value(q) * b_val + lib.value(r) == a_val
+        assert 0 <= lib.value(r) < b_val
+
+
+class TestOddPrimes:
+    def test_matches_sieve(self):
+        primes = _odd_primes(100)
+        assert primes == [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41,
+                          43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+class TestFactorization:
+    def test_factors_known_semiprimes(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        for n in (34114741, 17662751):
+            factor = workload.factor(n)
+            assert factor is not None
+            assert 1 < factor < n
+            assert n % factor == 0
+
+    def test_perfect_square_shortcut(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        assert workload.factor(9409) == 97
+
+    def test_rejects_tiny_input(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        with pytest.raises(Exception):
+            workload.factor(3)
+
+    def test_smooth_factor_exponents(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        primes = [2, 3, 5, 7]
+        exps, cofactor = workload.smooth_factor(360, primes, sign=1)
+        # 360 = 2^3 * 3^2 * 5
+        assert exps == [1, 3, 2, 1, 0]
+        assert cofactor == 1
+
+    def test_smooth_factor_keeps_large_prime_partial(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        exps, cofactor = workload.smooth_factor(2 * 101, [2, 3, 5, 7], sign=0)
+        assert exps == [0, 1, 0, 0, 0]
+        assert cofactor == 101
+
+    def test_smooth_factor_rejects_rough(self):
+        from repro.workloads.cfrac.cfrac import LARGE_PRIME_BOUND
+
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        rough = 2 * (LARGE_PRIME_BOUND + 7)
+        assert workload.smooth_factor(rough, [2, 3, 5, 7], sign=0) is None
+
+    def test_tiny_dataset_results_verified(self):
+        heap = TracedHeap("cfrac", "tiny")
+        workload = CfracWorkload(heap)
+        workload.run("tiny")
+        assert workload.results
+        for n, factor in workload.results.items():
+            assert factor is not None and n % factor == 0
+
+    def test_trace_shape(self, cfrac_tiny):
+        assert cfrac_tiny.total_objects > 1000
+        assert cfrac_tiny.total_calls > cfrac_tiny.total_objects
+        # cfrac frees almost everything it allocates.
+        unfreed = sum(
+            1 for i in range(cfrac_tiny.total_objects)
+            if not cfrac_tiny.freed(i)
+        )
+        assert unfreed < cfrac_tiny.total_objects * 0.01
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(Exception):
+            CfracWorkload.trace("nope")
+
+    def test_layered_chains(self, cfrac_tiny):
+        # Every allocation goes through the xalloc layer, so length-1
+        # chains are uninformative - the paper's layering observation.
+        callers = {cfrac_tiny.chain_of(i)[-1]
+                   for i in range(cfrac_tiny.total_objects)}
+        assert callers == {"xalloc"}
+
+
+class TestLargePrimeVariation:
+    def test_two_partials_combine_into_valid_relation(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        bn = workload.bn
+        n = 10007 * 10009  # semiprime well above the large primes used
+        n_bn = bn.bn_new(n)
+        primes = [2, 3, 5]
+        partials = {}
+        a1 = bn.bn_new(1234567)
+        a2 = bn.bn_new(7654321)
+        first = workload.combine_partial(
+            n_bn, partials, a1, [0, 1, 0, 0], 104729, primes
+        )
+        assert first is None  # stored, waiting for a partner
+        assert 104729 in partials
+        relation = workload.combine_partial(
+            n_bn, partials, a2, [1, 0, 1, 0], 104729, primes
+        )
+        assert relation is not None
+        # Combined exponents add componentwise.
+        assert relation.exps == [1, 1, 1, 0]
+        # The combined congruence holds: A^2 = (-1)^e0 * 2^e1 * 5^e3... as
+        # built, A = a1*a2/lp mod n, so (A*lp)^2 = (a1*a2)^2 (mod n).
+        a = relation.a_copy.payload
+        assert (a * 104729) % n == (1234567 * 7654321) % n
+
+    def test_large_prime_dividing_n_is_a_factor(self):
+        from repro.workloads.cfrac.cfrac import _EarlyFactor
+
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        bn = workload.bn
+        n_bn = bn.bn_new(10007 * 99991)
+        with pytest.raises(_EarlyFactor) as excinfo:
+            workload.combine_partial(
+                n_bn, {}, bn.bn_new(5), [0, 0], 10007, [2]
+            )
+        assert excinfo.value.factor == 10007
+
+
+class TestGaussianElimination:
+    def test_dependencies_xor_to_zero(self):
+        heap = TracedHeap("cfrac")
+        workload = CfracWorkload(heap)
+        lib = workload.bn
+
+        class FakeRel:
+            def __init__(self, mask):
+                self.bitvec = heap.malloc(8)
+                self.bitvec.payload = mask
+
+        masks = [0b101, 0b011, 0b110, 0b101, 0b000]
+        rels = [FakeRel(m) for m in masks]
+        combos = workload.dependencies(rels)
+        assert combos  # 0b101 ^ 0b011 ^ 0b110 == 0, plus duplicates
+        for combo in combos:
+            acc = 0
+            for index, rel in enumerate(rels):
+                if combo & (1 << index):
+                    acc ^= masks[index]
+            assert acc == 0

@@ -1,0 +1,134 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "t.json.gz"
+        assert main(["trace", "gawk", "tiny", "-o", str(out)]) == 0
+        assert out.exists()
+        assert "gawk/tiny" in capsys.readouterr().out
+
+    def test_unknown_program_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope", "tiny", "-o", str(tmp_path / "x")])
+
+    def test_unknown_dataset_error(self, tmp_path, capsys):
+        # WorkloadError propagates as a clean failure, not a traceback.
+        with pytest.raises(Exception):
+            main(["trace", "gawk", "bogus", "-o", str(tmp_path / "x")])
+
+
+class TestPipeline:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        out = tmp_path / "gawk.json.gz"
+        main(["trace", "gawk", "tiny", "-o", str(out)])
+        return out
+
+    def test_profile_predict_simulate(self, tmp_path, trace_file, capsys):
+        sites = tmp_path / "gawk.sites"
+        assert main([
+            "profile", str(trace_file), "-o", str(sites),
+            "--threshold", "8192",
+        ]) == 0
+        assert "short-lived sites" in capsys.readouterr().out
+
+        assert main(["predict", str(sites), str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "predicted:" in out
+        assert "actual short-lived:" in out
+
+        assert main([
+            "simulate", str(trace_file), "--sites", str(sites),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "arena" in out
+        assert "max heap size:" in out
+
+    def test_simulate_baselines(self, trace_file, capsys):
+        for allocator in ("firstfit", "bsd"):
+            assert main([
+                "simulate", str(trace_file), "--allocator", allocator,
+            ]) == 0
+            assert "instr/alloc" in capsys.readouterr().out
+
+    def test_simulate_arena_needs_sites(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_missing_file(self, tmp_path, capsys):
+        assert main([
+            "profile", str(tmp_path / "absent.json"), "-o",
+            str(tmp_path / "s"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_chain_length_option(self, tmp_path, trace_file, capsys):
+        sites = tmp_path / "len2.sites"
+        assert main([
+            "profile", str(trace_file), "-o", str(sites),
+            "--chain-length", "2", "--threshold", "8192",
+        ]) == 0
+
+
+class TestTableCommand:
+    def test_single_table(self, capsys):
+        assert main(["table", "5", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "gawk" in out
+
+    def test_unknown_table_rejected(self, capsys):
+        assert main(["table", "42"]) == 1
+        assert "no table" in capsys.readouterr().err
+
+
+class TestInspectionCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        out = tmp_path / "perl.json.gz"
+        main(["trace", "perl", "tiny", "-o", str(out)])
+        return out
+
+    def test_quantiles(self, trace_file, capsys):
+        assert main(["quantiles", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime quartiles" in out
+        assert "short-lived at 32768 bytes" in out
+
+    def test_quantiles_custom_threshold(self, trace_file, capsys):
+        assert main(["quantiles", str(trace_file), "--threshold", "1024"]) == 0
+        assert "short-lived at 1024 bytes" in capsys.readouterr().out
+
+    def test_sites(self, trace_file, capsys):
+        assert main(["sites", str(trace_file), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 by volume" in out
+        assert "uniformly short-lived" in out
+        assert "xalloc" in out
+
+
+class TestDiffCommand:
+    def test_diff_renders_attribution(self, tmp_path, capsys):
+        train = tmp_path / "train.json.gz"
+        test = tmp_path / "test.json.gz"
+        main(["trace", "perl", "train", "-o", str(train), "--scale", "0.05"])
+        main(["trace", "perl", "test", "-o", str(test), "--scale", "0.05"])
+        capsys.readouterr()
+        assert main(["diff", str(train), str(test), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predictable" in out
+        assert "new sites" in out
+        assert "perl/train" in out and "perl/test" in out
+
+    def test_diff_missing_file(self, tmp_path, capsys):
+        assert main([
+            "diff", str(tmp_path / "a.gz"), str(tmp_path / "b.gz"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err

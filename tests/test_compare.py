@@ -1,0 +1,113 @@
+"""Tests for cross-run site comparison (the prediction-gap attribution)."""
+
+from __future__ import annotations
+
+from repro.analysis.compare import diff_traces, render_diff
+from repro.core.predictor import evaluate, train_site_predictor
+from repro.runtime.heap import TracedHeap
+from tests.conftest import make_churn_trace
+
+
+def trace_with_sites(spec, program="synthetic"):
+    """Build a trace from a list of (site_name, size, short) tuples.
+
+    Short objects are freed immediately; long objects are freed after a
+    large filler allocation pushes byte-time past any test threshold.
+    """
+    heap = TracedHeap(program, dataset="spec")
+    long_lived = []
+    with heap.frame("work"):
+        for name, size, short in spec:
+            with heap.frame(name):
+                obj = heap.malloc(size)
+            if short:
+                heap.free(obj)
+            else:
+                long_lived.append(obj)
+        heap.malloc(100_000)  # byte-time filler
+        for obj in long_lived:
+            heap.free(obj)
+    return heap.finish()
+
+
+class TestDiffTraces:
+    def test_statuses(self):
+        train = trace_with_sites([
+            ("alpha", 16, True),    # stable-short
+            ("beta", 16, True),     # flips to long in test
+            ("gamma", 16, False),   # stable-long
+            ("delta", 16, False),   # flips to short in test
+            ("gone", 16, True),     # train-only
+        ])
+        test = trace_with_sites([
+            ("alpha", 16, True),
+            ("beta", 16, False),
+            ("gamma", 16, False),
+            ("delta", 16, True),
+            ("fresh", 16, True),    # test-only
+        ])
+        diff = diff_traces(train, test, threshold=4096)
+        by_name = {
+            delta.key[0][-1]: delta.status for delta in diff.deltas
+        }
+        assert by_name["alpha"] == "stable-short"
+        assert by_name["beta"] == "flipped-to-long"
+        assert by_name["gamma"] == "stable-long"
+        assert by_name["delta"] == "flipped-to-short"
+        assert by_name["fresh"] == "test-only"
+        assert by_name["gone"] == "train-only"
+
+    def test_byte_accounting_partitions_test_run(self):
+        train = make_churn_trace(objects=150)
+        test = make_churn_trace(objects=200)
+        diff = diff_traces(train, test, threshold=4096)
+        statuses = [
+            "stable-short", "stable-long", "flipped-to-long",
+            "flipped-to-short", "test-only",
+        ]
+        total_pct = sum(diff.pct_of_test(status) for status in statuses)
+        assert abs(total_pct - 100.0) < 1e-6
+
+    def test_error_pct_matches_evaluation(self):
+        # The diff's flipped-to-long bytes are exactly evaluate()'s error
+        # bytes for the same threshold and abstraction level.
+        train = trace_with_sites([("site", 16, True)] * 5)
+        test = trace_with_sites([("site", 16, False)] * 5)
+        diff = diff_traces(train, test, threshold=4096)
+        predictor = train_site_predictor(train, threshold=4096)
+        result = evaluate(predictor, test)
+        assert abs(diff.error_pct - result.error_pct) < 1e-9
+
+    def test_predictable_matches_true_prediction(self):
+        train = make_churn_trace(objects=150)
+        test = make_churn_trace(objects=200)
+        diff = diff_traces(train, test, threshold=4096)
+        predictor = train_site_predictor(train, threshold=4096)
+        result = evaluate(predictor, test)
+        # stable-short bytes == correctly predicted bytes.
+        assert abs(diff.predictable_pct - result.predicted_pct) < 1e-9
+
+    def test_train_only_has_no_test_bytes(self):
+        train = trace_with_sites([("only_here", 16, True)])
+        test = trace_with_sites([("other", 16, True)])
+        diff = diff_traces(train, test, threshold=4096)
+        train_only = [d for d in diff.deltas if d.status == "train-only"]
+        assert train_only
+        assert all(d.test_bytes is None for d in train_only)
+
+
+class TestRenderDiff:
+    def test_render_mentions_everything(self):
+        train = make_churn_trace(objects=100)
+        test = make_churn_trace(objects=150)
+        text = render_diff(diff_traces(train, test, threshold=4096))
+        assert "predictable" in text
+        assert "ERROR bytes" in text
+        assert "synthetic/spec" in text or "synthetic/synthetic" in text
+
+    def test_render_lists_unpredictable_sites(self):
+        train = trace_with_sites([("common", 16, True)])
+        test = trace_with_sites([("common", 16, True), ("novel", 64, True)])
+        text = render_diff(diff_traces(train, test, threshold=4096), top=5)
+        assert "novel" in text
+        assert "test-only" in text

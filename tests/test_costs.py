@@ -1,0 +1,105 @@
+"""Unit tests for the instruction-cost model."""
+
+from __future__ import annotations
+
+from repro.alloc.base import OpCounts
+from repro.alloc.costs import (
+    DEFAULT_COST_MODEL,
+    arena_cost,
+    bsd_cost,
+    execution_instructions,
+    firstfit_cost,
+)
+
+import pytest
+
+
+def make_ops(**kwargs) -> OpCounts:
+    ops = OpCounts()
+    for key, value in kwargs.items():
+        setattr(ops, key, value)
+    return ops
+
+
+class TestBsdCost:
+    def test_flat_free_cost(self):
+        ops = make_ops(allocs=10, frees=10)
+        cost = bsd_cost(ops)
+        assert cost.per_free == DEFAULT_COST_MODEL.bsd_free
+
+    def test_refills_amortized_over_allocs(self):
+        cheap = bsd_cost(make_ops(allocs=100, frees=0, sbrks=0))
+        pricey = bsd_cost(make_ops(allocs=100, frees=0, sbrks=10))
+        assert pricey.per_alloc > cheap.per_alloc
+
+    def test_zero_operations(self):
+        cost = bsd_cost(OpCounts())
+        assert cost.per_alloc == 0.0
+        assert cost.per_free == 0.0
+
+
+class TestFirstFitCost:
+    def test_scanning_dominates_long_searches(self):
+        short = firstfit_cost(make_ops(allocs=100, blocks_scanned=200))
+        long = firstfit_cost(make_ops(allocs=100, blocks_scanned=5000))
+        assert long.per_alloc > short.per_alloc
+
+    def test_coalescing_charged_to_free(self):
+        none = firstfit_cost(make_ops(frees=100, coalesces=0))
+        some = firstfit_cost(make_ops(frees=100, coalesces=80))
+        assert some.per_free > none.per_free
+        assert some.per_alloc == none.per_alloc == 0.0
+
+    def test_pair_total(self):
+        cost = firstfit_cost(make_ops(allocs=10, frees=10, blocks_scanned=10))
+        assert cost.per_pair == cost.per_alloc + cost.per_free
+
+
+class TestArenaCost:
+    def test_pure_arena_traffic_is_cheap(self):
+        # All allocations predicted and bump-allocated: the gawk case.
+        ops = make_ops(
+            allocs=1000, frees=1000, predictions=1000, predicted_short=1000,
+            arena_allocs=1000, arena_frees=1000,
+        )
+        cost = arena_cost(ops, OpCounts(), strategy="len4")
+        model = DEFAULT_COST_MODEL
+        assert cost.per_alloc == model.predict + model.arena_bump
+        assert cost.per_free == model.arena_free
+
+    def test_fallback_inherits_general_cost(self):
+        ops = make_ops(allocs=100, frees=100, predictions=100)
+        general = make_ops(allocs=100, frees=100, blocks_scanned=300)
+        cost = arena_cost(ops, general, strategy="len4")
+        assert cost.per_alloc > DEFAULT_COST_MODEL.predict
+
+    def test_cce_amortizes_calls(self):
+        ops = make_ops(allocs=100, frees=100, predictions=100,
+                       arena_allocs=100, arena_frees=100)
+        len4 = arena_cost(ops, OpCounts(), strategy="len4", total_calls=5000)
+        cce = arena_cost(ops, OpCounts(), strategy="cce", total_calls=5000)
+        # 5000 calls / 100 allocs * 3 instr = 150 per alloc, far above the
+        # 10-instruction frame walk it replaces.
+        assert cce.per_alloc > len4.per_alloc
+
+    def test_cce_cheaper_when_calls_scarce(self):
+        ops = make_ops(allocs=1000, frees=0, predictions=1000,
+                       arena_allocs=1000)
+        len4 = arena_cost(ops, OpCounts(), strategy="len4", total_calls=100)
+        cce = arena_cost(ops, OpCounts(), strategy="cce", total_calls=100)
+        assert cce.per_alloc < len4.per_alloc
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            arena_cost(OpCounts(), OpCounts(), strategy="magic")
+
+
+class TestExecutionInstructions:
+    def test_linear_model(self):
+        model = DEFAULT_COST_MODEL
+        assert execution_instructions(10, 20) == (
+            10 * model.instr_per_call + 20 * model.instr_per_ref
+        )
+
+    def test_zero(self):
+        assert execution_instructions(0, 0) == 0

@@ -1,0 +1,110 @@
+"""Unit tests for site-database serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cce import CCEPredictor, train_cce_predictor
+from repro.core.database import (
+    DatabaseFormatError,
+    load_predictor,
+    save_predictor,
+)
+from repro.core.predictor import (
+    SitePredictor,
+    SizeOnlyPredictor,
+    train_site_predictor,
+    train_size_only_predictor,
+)
+from tests.conftest import make_churn_trace
+
+
+@pytest.fixture
+def trace():
+    return make_churn_trace(objects=100)
+
+
+class TestRoundTrip:
+    def test_site_predictor(self, tmp_path, trace):
+        predictor = train_site_predictor(trace, threshold=4096)
+        path = tmp_path / "sites.json"
+        save_predictor(predictor, path)
+        loaded = load_predictor(path)
+        assert isinstance(loaded, SitePredictor)
+        assert loaded.sites == predictor.sites
+        assert loaded.threshold == predictor.threshold
+        assert loaded.level == predictor.level
+        assert loaded.program == predictor.program
+
+    def test_size_only_predictor(self, tmp_path, trace):
+        predictor = train_size_only_predictor(trace, threshold=4096)
+        path = tmp_path / "sizes.json"
+        save_predictor(predictor, path)
+        loaded = load_predictor(path)
+        assert isinstance(loaded, SizeOnlyPredictor)
+        assert loaded.sizes == predictor.sizes
+
+    def test_cce_predictor(self, tmp_path, trace):
+        predictor = train_cce_predictor(trace, threshold=4096)
+        path = tmp_path / "cce.json"
+        save_predictor(predictor, path)
+        loaded = load_predictor(path)
+        assert isinstance(loaded, CCEPredictor)
+        assert loaded.keys == predictor.keys
+        assert loaded.bits == predictor.bits
+
+    def test_loaded_predictor_predicts_identically(self, tmp_path, trace):
+        predictor = train_site_predictor(trace, threshold=4096)
+        path = tmp_path / "sites.json"
+        save_predictor(predictor, path)
+        loaded = load_predictor(path)
+        for obj_id in range(trace.total_objects):
+            chain = trace.chain_of(obj_id)
+            size = trace.size_of(obj_id)
+            assert loaded.predicts_short_lived(chain, size) == (
+                predictor.predicts_short_lived(chain, size)
+            )
+
+
+class TestErrors:
+    def test_unknown_type_rejected_on_save(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_predictor(object(), tmp_path / "x.json")  # type: ignore
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope")
+        with pytest.raises(DatabaseFormatError):
+            load_predictor(path)
+
+    def test_wrong_marker(self, tmp_path):
+        path = tmp_path / "marker.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(DatabaseFormatError):
+            load_predictor(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "version.json"
+        path.write_text(json.dumps({"format": "repro-sites", "version": 99}))
+        with pytest.raises(DatabaseFormatError):
+            load_predictor(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "kind.json"
+        path.write_text(json.dumps(
+            {"format": "repro-sites", "version": 1, "kind": "quantum",
+             "threshold": 1}
+        ))
+        with pytest.raises(DatabaseFormatError):
+            load_predictor(path)
+
+    def test_malformed_body(self, tmp_path):
+        path = tmp_path / "body.json"
+        path.write_text(json.dumps(
+            {"format": "repro-sites", "version": 1, "kind": "site",
+             "threshold": 1}
+        ))
+        with pytest.raises(DatabaseFormatError):
+            load_predictor(path)

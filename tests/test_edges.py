@@ -1,0 +1,124 @@
+"""Edge-case tests across small surfaces not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.base import Allocator, OpCounts
+from repro.workloads.base import DatasetSpec, Workload, WorkloadError
+from repro.workloads.regexlite import RegexError, compile_pattern
+from repro.runtime.heap import TracedHeap
+
+
+class TestOpCounts:
+    def test_snapshot_is_independent_copy(self):
+        ops = OpCounts(allocs=3, frees=1)
+        snap = ops.snapshot()
+        ops.allocs = 99
+        assert snap.allocs == 3
+        assert snap.frees == 1
+
+    def test_defaults_zero(self):
+        ops = OpCounts()
+        assert all(
+            value == 0 for value in vars(ops).values()
+        )
+
+
+class TestAbstractAllocator:
+    def test_interface_raises(self):
+        allocator = Allocator()
+        with pytest.raises(NotImplementedError):
+            allocator.malloc(8)
+        with pytest.raises(NotImplementedError):
+            allocator.free(0)
+        # check_invariants is an explicit no-op on the base class.
+        allocator.check_invariants()
+
+
+class TestWorkloadBase:
+    def test_abstract_run(self):
+        workload = Workload(TracedHeap("abstract"))
+        with pytest.raises(NotImplementedError):
+            workload.run("train")
+
+    def test_unknown_dataset_message_lists_choices(self):
+        class Demo(Workload):
+            name = "demo"
+            DATASETS = {"only": DatasetSpec("only", "the one")}
+
+        with pytest.raises(WorkloadError) as excinfo:
+            Demo.dataset_spec("other")
+        assert "only" in str(excinfo.value)
+
+    def test_train_test_pair_runs_both(self):
+        ran = []
+
+        class Demo(Workload):
+            name = "demo"
+            DATASETS = {
+                "train": DatasetSpec("train", "t"),
+                "test": DatasetSpec("test", "e"),
+            }
+
+            def run(self, dataset, scale=1.0):
+                ran.append(dataset)
+                self.heap.malloc(8)
+
+        train, test = Demo.train_test_pair()
+        assert ran == ["train", "test"]
+        assert train.dataset == "train"
+        assert test.dataset == "test"
+
+
+class TestRegexliteModulePath:
+    def test_shared_module_is_canonical(self):
+        # The perl shim re-exports the shared engine objects unchanged.
+        from repro.workloads import regexlite
+        from repro.workloads.perl import regex as shim
+
+        assert shim.compile_pattern is regexlite.compile_pattern
+        assert shim.Regex is regexlite.Regex
+        assert shim.RegexError is regexlite.RegexError
+
+    def test_engine_usable_standalone(self):
+        heap = TracedHeap("rx")
+        pattern = compile_pattern(heap, "a[0-9]+z", heap.malloc)
+        assert pattern.match("xxa42zxx", heap.malloc)
+        assert not pattern.match("az", heap.malloc)
+
+    def test_error_type_shared(self):
+        heap = TracedHeap("rx")
+        with pytest.raises(RegexError):
+            compile_pattern(heap, "[oops", heap.malloc)
+
+
+class TestQuantileHistogramSmallStreams:
+    def test_two_observations(self):
+        from repro.core.quantile import P2Histogram
+
+        hist = P2Histogram(cells=4)
+        hist.extend([5.0, 1.0])
+        qs = hist.quantiles()
+        assert qs[0] == 1.0 and qs[-1] == 5.0
+
+    def test_exact_until_marker_count(self):
+        from repro.core.quantile import ExactQuantiles, P2Histogram
+
+        data = [9.0, 2.0, 7.0, 4.0]  # fewer than cells+1 observations
+        hist = P2Histogram(cells=4)
+        exact = ExactQuantiles()
+        hist.extend(data)
+        exact.extend(data)
+        assert hist.quantiles() == exact.quantiles([0, 0.25, 0.5, 0.75, 1.0])
+
+
+class TestCostModelCustomisation:
+    def test_custom_constants_flow_through(self):
+        from repro.alloc.costs import CostModel, bsd_cost
+
+        ops = OpCounts(allocs=10, frees=10)
+        pricey = CostModel(bsd_alloc_base=500, bsd_free=70)
+        cost = bsd_cost(ops, pricey)
+        assert cost.per_alloc == 500
+        assert cost.per_free == 70

@@ -1,0 +1,319 @@
+"""Tests for the espresso workload: cube algebra and the minimizer.
+
+The cube-algebra property tests compare against brute-force minterm
+semantics: a cube over n variables denotes a set of minterms, and every
+operation must respect that denotation.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.espresso.algorithm import EspressoMinimizer
+from repro.workloads.espresso.cubes import CubeLib, CubeSpace
+from repro.workloads.espresso.workload import EspressoWorkload
+from repro.workloads.inputs import pla_terms
+
+
+def minterms(space: CubeSpace, mask: int):
+    """The set of assignments (tuples of 0/1) a cube mask covers."""
+    result = set()
+    for bits in product((0, 1), repeat=space.nvars):
+        ok = True
+        for var, bit in enumerate(bits):
+            pair = (mask >> (2 * var)) & 0b11
+            if not pair & (1 << bit):
+                ok = False
+                break
+        if ok:
+            result.add(bits)
+    return result
+
+
+def cover_minterms(space: CubeSpace, masks) -> set:
+    covered = set()
+    for mask in masks:
+        covered |= minterms(space, mask)
+    return covered
+
+
+terms3 = st.text(alphabet="01-", min_size=3, max_size=3)
+covers3 = st.lists(terms3, min_size=0, max_size=6)
+
+
+def fresh_lib(nvars=3):
+    space = CubeSpace(nvars)
+    return space, CubeLib(TracedHeap("esp-test"), space)
+
+
+class TestCubeSpace:
+    def test_string_round_trip(self):
+        space = CubeSpace(4)
+        for term in ("01-1", "----", "0000", "1111"):
+            assert space.to_string(space.from_string(term)) == term
+
+    def test_bad_strings(self):
+        space = CubeSpace(3)
+        with pytest.raises(ValueError):
+            space.from_string("01")  # wrong width
+        with pytest.raises(ValueError):
+            space.from_string("01x")
+
+    def test_validity(self):
+        space = CubeSpace(2)
+        assert space.is_valid(space.full)
+        assert not space.is_valid(0)  # both pairs 00
+
+    def test_literal_count(self):
+        space = CubeSpace(4)
+        assert space.literal_count(space.from_string("01-1")) == 3
+        assert space.literal_count(space.full) == 0
+
+    def test_fixed_vars(self):
+        space = CubeSpace(3)
+        assert space.fixed_vars(space.from_string("1-0")) == [0, 2]
+
+    def test_rejects_no_vars(self):
+        with pytest.raises(ValueError):
+            CubeSpace(0)
+
+
+class TestCubeAlgebra:
+    def test_and_is_minterm_intersection(self):
+        space, lib = fresh_lib()
+        a = lib.cube_new(space.from_string("1--"))
+        b = lib.cube_new(space.from_string("-0-"))
+        c = lib.cube_and(a, b)
+        assert minterms(space, c.mask) == (
+            minterms(space, a.mask) & minterms(space, b.mask)
+        )
+
+    def test_disjoint_and_is_none(self):
+        space, lib = fresh_lib()
+        a = lib.cube_new(space.from_string("1--"))
+        b = lib.cube_new(space.from_string("0--"))
+        assert lib.cube_and(a, b) is None
+
+    def test_containment(self):
+        space, lib = fresh_lib()
+        big = lib.cube_new(space.from_string("1--"))
+        small = lib.cube_new(space.from_string("10-"))
+        assert lib.cube_contains(big, small)
+        assert not lib.cube_contains(small, big)
+
+    @given(terms3, terms3)
+    @settings(max_examples=60, deadline=None)
+    def test_sharp_is_set_difference(self, ta, tb):
+        space, lib = fresh_lib()
+        a = lib.cube_new(space.from_string(ta))
+        b = lib.cube_new(space.from_string(tb))
+        pieces = lib.cube_sharp(a, b)
+        got = cover_minterms(space, [p.mask for p in pieces])
+        assert got == minterms(space, a.mask) - minterms(space, b.mask)
+        # Disjointness: pieces must not overlap each other.
+        total = sum(len(minterms(space, p.mask)) for p in pieces)
+        assert total == len(got)
+
+    @given(terms3, terms3)
+    @settings(max_examples=40, deadline=None)
+    def test_supercube_contains_both(self, ta, tb):
+        space, lib = fresh_lib()
+        a = lib.cube_new(space.from_string(ta))
+        b = lib.cube_new(space.from_string(tb))
+        sup = lib.supercube([a, b])
+        assert minterms(space, a.mask) <= minterms(space, sup.mask)
+        assert minterms(space, b.mask) <= minterms(space, sup.mask)
+
+    def test_cofactor_literal(self):
+        space, lib = fresh_lib()
+        cover = lib.cover_from_masks([
+            space.from_string("1-0"), space.from_string("0--"),
+        ])
+        positive = lib.cofactor_literal(cover, 0, 1)
+        assert [space.to_string(c.mask) for c in positive.cubes] == ["--0"]
+
+    def test_most_binate(self):
+        space, lib = fresh_lib()
+        cover = lib.cover_from_masks([
+            space.from_string("10-"),
+            space.from_string("01-"),
+            space.from_string("0--"),
+        ])
+        assert lib.most_binate_var(cover) == 0
+
+    def test_unate_cover_has_no_binate_var(self):
+        space, lib = fresh_lib()
+        cover = lib.cover_from_masks([
+            space.from_string("1--"), space.from_string("11-"),
+        ])
+        assert lib.most_binate_var(cover) is None
+
+    def test_cover_grows_and_frees(self):
+        heap = TracedHeap("esp-test")
+        space = CubeSpace(3)
+        lib = CubeLib(heap, space)
+        cover = lib.cover_new()
+        for _ in range(20):  # forces block doubling past capacity 8
+            lib.cover_add(cover, lib.cube_new(space.full))
+        assert cover.capacity >= 20
+        lib.cover_free(cover)
+        assert heap.live_objects == 0
+
+
+class TestUnateRecursion:
+    def make_minimizer(self, nvars=3):
+        space = CubeSpace(nvars)
+        return space, EspressoMinimizer(TracedHeap("esp-test"), space)
+
+    def test_tautology_of_universe(self):
+        space, esp = self.make_minimizer()
+        cover = esp.lib.cover_from_masks([space.full])
+        assert esp.tautology(cover)
+
+    def test_tautology_of_split_pair(self):
+        space, esp = self.make_minimizer()
+        cover = esp.lib.cover_from_masks([
+            space.from_string("1--"), space.from_string("0--"),
+        ])
+        assert esp.tautology(cover)
+
+    def test_non_tautology(self):
+        space, esp = self.make_minimizer()
+        cover = esp.lib.cover_from_masks([space.from_string("1--")])
+        assert not esp.tautology(cover)
+
+    def test_empty_cover_is_not_tautology(self):
+        space, esp = self.make_minimizer()
+        assert not esp.tautology(esp.lib.cover_new())
+
+    @given(covers3)
+    @settings(max_examples=60, deadline=None)
+    def test_tautology_matches_brute_force(self, terms):
+        space, esp = self.make_minimizer()
+        masks = [space.from_string(t) for t in terms]
+        cover = esp.lib.cover_from_masks(masks)
+        expected = cover_minterms(space, masks) == set(
+            product((0, 1), repeat=3)
+        )
+        assert esp.tautology(cover) == expected
+
+    @given(covers3)
+    @settings(max_examples=60, deadline=None)
+    def test_complement_matches_brute_force(self, terms):
+        space, esp = self.make_minimizer()
+        masks = [space.from_string(t) for t in terms]
+        cover = esp.lib.cover_from_masks(masks)
+        complement = esp.complement(cover)
+        got = cover_minterms(space, [c.mask for c in complement.cubes])
+        expected = set(product((0, 1), repeat=3)) - cover_minterms(space, masks)
+        assert got == expected
+
+
+class TestMinimize:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_minimize_preserves_function(self, seed):
+        space = CubeSpace(5)
+        esp = EspressoMinimizer(TracedHeap("esp-test"), space)
+        terms = pla_terms(5, 12, seed=seed, dont_care_rate=0.35)
+        masks = [space.from_string(t) for t in terms]
+        result = esp.minimize(masks)
+        got = cover_minterms(space, [c.mask for c in result.cover.cubes])
+        assert got == cover_minterms(space, masks)
+        assert esp.verify(masks, result.cover)
+
+    def test_minimize_reduces_redundancy(self):
+        space = CubeSpace(3)
+        esp = EspressoMinimizer(TracedHeap("esp-test"), space)
+        # Four cubes that collapse to the single cube "1--".
+        masks = [space.from_string(t) for t in ("100", "101", "110", "111")]
+        result = esp.minimize(masks)
+        assert result.final_cubes == 1
+        assert space.to_string(result.cover.cubes[0].mask) == "1--"
+
+    def test_verify_rejects_wrong_cover(self):
+        space = CubeSpace(3)
+        esp = EspressoMinimizer(TracedHeap("esp-test"), space)
+        masks = [space.from_string("1--")]
+        wrong = esp.lib.cover_from_masks([space.from_string("0--")])
+        assert not esp.verify(masks, wrong)
+
+    def test_workload_tiny(self):
+        heap = TracedHeap("espresso", "tiny")
+        workload = EspressoWorkload(heap)
+        workload.run("tiny")
+        assert all(verified for _, _, verified in workload.results)
+        initial, final, _ = workload.results[0]
+        assert final <= initial
+
+
+class TestPlaFormat:
+    SAMPLE = """\
+# a tiny function
+.i 3
+.o 1
+.ilb a b c
+.ob f
+.p 4
+100 1
+101 1
+110 1
+111 1
+.e
+"""
+
+    def test_parse_fields(self):
+        from repro.workloads.espresso.pla import parse_pla
+
+        pla = parse_pla(self.SAMPLE)
+        assert pla.inputs == 3
+        assert pla.terms == ["100", "101", "110", "111"]
+        assert pla.input_labels == ["a", "b", "c"]
+        assert pla.output_label == "f"
+
+    def test_output_zero_terms_dropped(self):
+        from repro.workloads.espresso.pla import parse_pla
+
+        pla = parse_pla(".i 2\n00 1\n11 0\n.e\n")
+        assert pla.terms == ["00"]
+
+    def test_round_trip(self):
+        from repro.workloads.espresso.pla import format_pla, parse_pla
+
+        pla = parse_pla(self.SAMPLE)
+        again = parse_pla(format_pla(pla))
+        assert again.terms == pla.terms
+        assert again.inputs == pla.inputs
+
+    def test_errors(self):
+        from repro.workloads.espresso.pla import PlaError, parse_pla
+
+        for text in (
+            "00 1\n.e\n",                # term before .i
+            ".i 2\n.o 3\n00 1\n.e\n",    # multi-output
+            ".i 2\n0x 1\n.e\n",          # bad character
+            ".i 2\n.p 5\n00 1\n.e\n",    # wrong .p count
+            ".i 2\n.e\n00 1\n",          # content after .e
+            ".i zero\n",                 # bad number
+            ".weird 1\n",                # unknown directive
+        ):
+            with pytest.raises(PlaError):
+                parse_pla(text)
+
+    def test_minimize_pla_text(self):
+        from repro.runtime.heap import TracedHeap
+        from repro.workloads.espresso.pla import parse_pla
+        from repro.workloads.espresso.workload import EspressoWorkload
+
+        workload = EspressoWorkload(TracedHeap("espresso", "pla"))
+        out = workload.minimize_pla_text(self.SAMPLE)
+        minimized = parse_pla(out)
+        # 1xx covers all four terms.
+        assert minimized.terms == ["1--"]
+        assert workload.results[-1][2] is True  # verified
+        assert minimized.input_labels == ["a", "b", "c"]

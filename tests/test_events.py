@@ -1,0 +1,122 @@
+"""Unit tests for the trace data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sites import ChainTable
+from repro.runtime.events import TraceBuilder
+
+
+def build_simple_trace():
+    """Three objects: two freed, one surviving to program exit."""
+    builder = TraceBuilder(program="p", dataset="d")
+    a = builder.add_alloc(("main", "f"), size=16, birth=0)
+    b = builder.add_alloc(("main", "g"), size=32, birth=16)
+    builder.add_free(a, death=48, touches=3)
+    c = builder.add_alloc(("main", "f"), size=8, birth=48)
+    builder.add_free(b, death=56, touches=1)
+    builder.total_calls = 7
+    builder.heap_refs = 4
+    builder.non_heap_refs = 12
+    return builder.build(), (a, b, c)
+
+
+class TestTraceBuilder:
+    def test_ids_dense_from_zero(self):
+        trace, (a, b, c) = build_simple_trace()
+        assert (a, b, c) == (0, 1, 2)
+        assert trace.total_objects == 3
+
+    def test_double_free_rejected(self):
+        builder = TraceBuilder(program="p", dataset="d")
+        obj = builder.add_alloc(("m",), size=8, birth=0)
+        builder.add_free(obj, death=8, touches=0)
+        with pytest.raises(ValueError):
+            builder.add_free(obj, death=8, touches=0)
+
+    def test_set_touches_for_survivors(self):
+        builder = TraceBuilder(program="p", dataset="d")
+        obj = builder.add_alloc(("m",), size=8, birth=0)
+        builder.set_touches(obj, 9)
+        trace = builder.build()
+        assert trace.touches_of(obj) == 9
+
+
+class TestTrace:
+    def test_totals(self):
+        trace, _ = build_simple_trace()
+        assert trace.total_bytes == 56
+        assert trace.end_time == 56
+
+    def test_lifetimes_of_freed_objects(self):
+        trace, (a, b, _) = build_simple_trace()
+        assert trace.lifetime_of(a) == 48
+        assert trace.lifetime_of(b) == 40
+
+    def test_survivor_dies_at_exit(self):
+        trace, (_, _, c) = build_simple_trace()
+        assert not trace.freed(c)
+        assert trace.lifetime_of(c) == trace.end_time - 48
+
+    def test_record_view(self):
+        trace, (a, _, c) = build_simple_trace()
+        view = trace.record(a)
+        assert view.size == 16
+        assert view.death == 48
+        assert view.freed
+        assert view.lifetime == 48
+        assert view.touches == 3
+        survivor = trace.record(c)
+        assert survivor.death is None
+        assert not survivor.freed
+
+    def test_record_out_of_range(self):
+        trace, _ = build_simple_trace()
+        with pytest.raises(IndexError):
+            trace.record(3)
+
+    def test_records_iteration(self):
+        trace, _ = build_simple_trace()
+        views = list(trace.records())
+        assert [v.obj_id for v in views] == [0, 1, 2]
+
+    def test_chain_and_site(self):
+        trace, (a, b, _) = build_simple_trace()
+        assert trace.chain_of(a) == ("main", "f")
+        site = trace.site_of(b)
+        assert site.chain == ("main", "g")
+        assert site.size == 32
+
+    def test_event_sequence_in_program_order(self):
+        trace, (a, b, c) = build_simple_trace()
+        assert list(trace.events()) == [
+            ("alloc", a), ("alloc", b), ("free", a), ("alloc", c), ("free", b),
+        ]
+        assert trace.event_count == 5
+
+    def test_live_stats(self):
+        trace, _ = build_simple_trace()
+        stats = trace.live_stats()
+        assert stats.max_live_bytes == 48  # a (16) + b (32)
+        assert stats.max_live_objects == 2
+
+    def test_live_stats_cached(self):
+        trace, _ = build_simple_trace()
+        assert trace.live_stats() is trace.live_stats()
+
+    def test_heap_ref_fraction(self):
+        trace, _ = build_simple_trace()
+        assert trace.total_refs == 16
+        assert trace.heap_ref_fraction == 4 / 16
+
+    def test_heap_ref_fraction_empty(self):
+        trace = TraceBuilder(program="p", dataset="d").build()
+        assert trace.heap_ref_fraction == 0.0
+
+    def test_chains_interned(self):
+        trace, (a, _, c) = build_simple_trace()
+        assert isinstance(trace.chains, ChainTable)
+        # Two allocations from ("main", "f") share one chain id.
+        arrays = trace.raw_arrays()
+        assert arrays["chain_ids"][a] == arrays["chain_ids"][c]

@@ -1,0 +1,278 @@
+"""Tests for the gawk workload: lexer, parser, interpreter, and script."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.gawk.interp import AwkRuntimeError, Interp
+from repro.workloads.gawk.parser import AwkSyntaxError, Lexer
+from repro.workloads.gawk.workload import FILL_SCRIPT, STATS_SCRIPT, GawkWorkload
+
+
+def run_awk(script: str, records):
+    """Compile and run a script; returns the interpreter."""
+    interp = Interp(TracedHeap("gawk-test"))
+    interp.compile(script)
+    interp.run(list(records))
+    return interp
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = Lexer('x = 3.5 "hi" $1 # comment\n').tokens()
+        kinds = [t[0] for t in tokens]
+        assert kinds == ["name", "op", "number", "string", "op", "number", "eof"]
+
+    def test_string_escapes(self):
+        tokens = Lexer(r'"a\tb\nc\"d"').tokens()
+        assert tokens[0][1] == 'a\tb\nc"d'
+
+    def test_unterminated_string(self):
+        with pytest.raises(AwkSyntaxError):
+            Lexer('"abc').tokens()
+
+    def test_unexpected_character(self):
+        with pytest.raises(AwkSyntaxError):
+            Lexer("x @ y").tokens()
+
+    def test_keywords_recognized(self):
+        kinds = {t[0] for t in Lexer("BEGIN END if else for in print length").tokens()}
+        assert "name" not in kinds - {"eof"}
+
+    def test_line_numbers(self):
+        tokens = Lexer("a\nb\nc").tokens()
+        assert [t[2] for t in tokens[:3]] == [1, 2, 3]
+
+
+class TestParserErrors:
+    def test_assignment_to_rvalue(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("{ 3 = x }", [])
+
+    def test_unclosed_block(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("{ print x", [])
+
+    def test_empty_program(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("", [])
+
+    def test_bad_for_in(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("{ for (x in 3) print x }", [])
+
+
+class TestInterpreter:
+    def test_arithmetic(self):
+        interp = run_awk('BEGIN { print 2 + 3 * 4, 10 / 4, 10 % 3 }', [])
+        assert interp.output == ["14 2.5 1"]
+
+    def test_string_concat_and_compare(self):
+        interp = run_awk(
+            'BEGIN { s = "a" "b"; if (s == "ab") print "yes" }', []
+        )
+        assert interp.output == ["yes"]
+
+    def test_fields_and_nf(self):
+        interp = run_awk("{ print NF, $1, $2, $0 }", ["alpha beta"])
+        assert interp.output == ["2 alpha beta alpha beta"]
+
+    def test_field_out_of_range_is_empty(self):
+        interp = run_awk('{ if ($5 == "") print "empty" }', ["a b"])
+        assert interp.output == ["empty"]
+
+    def test_uninitialized_variables(self):
+        interp = run_awk("BEGIN { print x + 1, length(y) }", [])
+        assert interp.output == ["1 0"]
+
+    def test_for_loop(self):
+        interp = run_awk(
+            "BEGIN { for (i = 1; i <= 4; i++) total = total + i\n"
+            "print total }", []
+        )
+        assert interp.output == ["10"]
+
+    def test_preincrement_vs_post(self):
+        interp = run_awk("BEGIN { x = 1; print x++; print ++x }", [])
+        assert interp.output == ["1", "3"]
+
+    def test_arrays_and_for_in(self):
+        interp = run_awk(
+            '{ count[$1]++ }\n'
+            'END { n = 0; for (w in count) n++; print n, count["a"] }',
+            ["a", "b", "a", "c", "a"],
+        )
+        assert interp.output == ["3 3"]
+
+    def test_if_else_chain(self):
+        script = (
+            "{ if ($1 > 10) print \"big\"\n"
+            "  else if ($1 > 5) print \"mid\"\n"
+            "  else print \"small\" }"
+        )
+        interp = run_awk(script, ["12", "7", "1"])
+        assert interp.output == ["big", "mid", "small"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(AwkRuntimeError):
+            run_awk("BEGIN { print 1 / 0 }", [])
+
+    def test_negation_and_parens(self):
+        interp = run_awk("BEGIN { print -(2 + 3) * 2 }", [])
+        assert interp.output == ["-10"]
+
+    def test_begin_and_end_order(self):
+        interp = run_awk(
+            'BEGIN { print "begin" } { print $0 } END { print "end" }',
+            ["mid"],
+        )
+        assert interp.output == ["begin", "mid", "end"]
+
+    def test_temporaries_are_freed(self):
+        heap = TracedHeap("gawk-test")
+        interp = Interp(heap)
+        interp.compile("{ x = $1 + 1; y = x * 2 }")
+        interp.run(["4", "5", "6"])
+        interp.clear_fields()
+        # Only the AST, globals, and array state may remain live.
+        assert heap.live_objects < 60
+
+
+class TestFillScript:
+    def test_lines_fit_width(self):
+        workload = GawkWorkload(TracedHeap("gawk", "t"))
+        workload.run("tiny")
+        for line in workload.output:
+            if " " in line:  # multi-word lines obey the fill width
+                assert len(line) <= 60
+
+    def test_all_words_preserved_in_order(self):
+        records = ["aa bb cc", "dd ee"]
+        interp = run_awk(FILL_SCRIPT, records)
+        words_out = " ".join(interp.output).split()
+        assert words_out == ["aa", "bb", "cc", "dd", "ee"]
+
+    def test_stats_script_counts(self):
+        interp = run_awk(STATS_SCRIPT, ["a bb a", "ccc bb", "echo 42"])
+        assert interp.output == [
+            "words:7 distinct:5 maxlen:4 vowel-lines:2 numeric:1"
+        ]
+
+
+class TestWorkloadDatasets:
+    def test_train_and_test_differ(self):
+        a = GawkWorkload.trace("train", scale=0.05)
+        b = GawkWorkload.trace("test", scale=0.05)
+        assert a.total_objects != b.total_objects
+
+    def test_unknown_dataset(self):
+        with pytest.raises(Exception):
+            GawkWorkload.trace("bogus")
+
+
+class TestBuiltins:
+    def test_substr(self):
+        interp = run_awk('BEGIN { print substr("abcdef", 2, 3) }', [])
+        assert interp.output == ["bcd"]
+
+    def test_substr_without_length(self):
+        interp = run_awk('BEGIN { print substr("abcdef", 4) }', [])
+        assert interp.output == ["def"]
+
+    def test_substr_clamps(self):
+        interp = run_awk(
+            'BEGIN { print substr("abc", 0, 2) ":" substr("abc", 2, 99) }', []
+        )
+        assert interp.output == ["ab:bc"]
+
+    def test_index_one_based(self):
+        interp = run_awk(
+            'BEGIN { print index("needle in haystack", "in"), '
+            'index("abc", "z") }', []
+        )
+        assert interp.output == ["8 0"]
+
+    def test_split_fills_array(self):
+        interp = run_awk(
+            'BEGIN { n = split("a bb ccc", parts)\n'
+            'print n, parts[1], parts[3] }', []
+        )
+        assert interp.output == ["3 a ccc"]
+
+    def test_split_clears_previous_contents(self):
+        interp = run_awk(
+            'BEGIN { split("x y z", parts)\n'
+            'split("only", parts)\n'
+            'n = 0\n'
+            'for (k in parts) n++\n'
+            'print n, parts[1] }', []
+        )
+        assert interp.output == ["1 only"]
+
+    def test_case_conversion(self):
+        interp = run_awk(
+            'BEGIN { print toupper("abc") tolower("XYZ") }', []
+        )
+        assert interp.output == ["ABCxyz"]
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("BEGIN { print length() }", [])
+        with pytest.raises(AwkSyntaxError):
+            run_awk('BEGIN { print substr("x") }', [])
+
+    def test_split_requires_array_name(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk('BEGIN { split("a b", 3) }', [])
+
+    def test_builtins_in_concat(self):
+        interp = run_awk(
+            'BEGIN { print "len=" length("abcd") }', []
+        )
+        assert interp.output == ["len=4"]
+
+
+class TestRegexMatching:
+    def test_tilde_operator(self):
+        interp = run_awk(
+            '{ if ($0 ~ /b.n/) print "hit" }', ["banana", "apple"]
+        )
+        assert interp.output == ["hit"]
+
+    def test_negated_match(self):
+        interp = run_awk(
+            '{ if ($0 !~ /[0-9]/) print $0 }', ["abc", "a1c"]
+        )
+        assert interp.output == ["abc"]
+
+    def test_pattern_rules(self):
+        interp = run_awk(
+            '/^a/ { print "A" } /o$/ { print "O" }',
+            ["apple", "avocado", "pear"],
+        )
+        assert interp.output == ["A", "A", "O"]
+
+    def test_pattern_rule_and_main_rule_coexist(self):
+        interp = run_awk(
+            '{ n++ } /x/ { m++ } END { print n, m }',
+            ["x", "y", "xx"],
+        )
+        assert interp.output == ["3 2"]
+
+    def test_regex_vs_division(self):
+        # "/" after a value is division, not a regex.
+        interp = run_awk("BEGIN { x = 10; print x / 2 }", [])
+        assert interp.output == ["5"]
+
+    def test_unterminated_regex(self):
+        with pytest.raises(AwkSyntaxError):
+            run_awk("{ if ($0 ~ /abc) print }", [])
+
+    def test_compiled_patterns_cached(self):
+        heap = TracedHeap("gawk-test")
+        interp = Interp(heap)
+        interp.compile('{ if ($0 ~ /ab/) n++ } END { print n }')
+        interp.run(["ab"] * 50)
+        assert len(interp.regex_cache) == 1
+        assert interp.output == ["50"]

@@ -1,0 +1,355 @@
+"""Tests for the ghost workload: scanner, graphics, and interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.ghost.graphics import (
+    GlyphCache,
+    PageDevice,
+    Path,
+    Rasterizer,
+    SPAN_BYTES_PER_COLUMN,
+)
+from repro.workloads.ghost.interp import PSError, PSInterp
+from repro.workloads.ghost.scanner import PSScanError, scan
+from repro.workloads.ghost.workload import GhostWorkload
+
+
+class TestScanner:
+    def test_basic_tokens(self):
+        tokens = scan("12 3.5 -2 name /lit (str)")
+        assert tokens == [
+            ("number", 12.0), ("number", 3.5), ("number", -2.0),
+            ("name", "name"), ("litname", "lit"), ("string", "str"),
+        ]
+
+    def test_procedures_nest(self):
+        tokens = scan("{ 1 { 2 } 3 }")
+        assert tokens[0][0] == "proc"
+        inner = tokens[0][1]
+        assert inner[0] == ("number", 1.0)
+        assert inner[1][0] == "proc"
+
+    def test_nested_parens_in_strings(self):
+        tokens = scan("(a (b) c)")
+        assert tokens == [("string", "a (b) c")]
+
+    def test_string_escapes(self):
+        assert scan(r"(a\)b\nc)") == [("string", "a)b\nc")]
+
+    def test_comments(self):
+        assert scan("1 % two three\n4") == [("number", 1.0), ("number", 4.0)]
+
+    def test_arrays(self):
+        tokens = scan("[1 2]")
+        assert tokens[0][0] == "array"
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(PSScanError):
+            scan("{ 1")
+        with pytest.raises(PSScanError):
+            scan("} 1")
+
+    def test_unterminated_string(self):
+        with pytest.raises(PSScanError):
+            scan("(abc")
+
+
+def make_rasterizer():
+    heap = TracedHeap("ghost-test")
+    device = PageDevice(heap, framebuffer=heap.malloc(4096), width=100,
+                        height=64)
+    return heap, device, Rasterizer(heap, device)
+
+
+class TestGraphics:
+    def test_path_segments_and_bounds(self):
+        heap = TracedHeap("ghost-test")
+        path = Path(heap)
+        path.moveto(10, 10)
+        path.lineto(20, 10, heap.malloc(24))
+        path.close(heap.malloc(24))
+        assert len(path.segments) == 2
+        assert path.bounds() == (10, 10, 20, 10)
+        path.clear()
+        assert heap.live_objects == 0
+
+    def test_lineto_without_point(self):
+        heap = TracedHeap("ghost-test")
+        path = Path(heap)
+        with pytest.raises(Exception):
+            path.lineto(5, 5, heap.malloc(24))
+
+    def test_fill_rectangle_paints_expected_area(self):
+        heap, device, raster = make_rasterizer()
+        path = Path(heap)
+        path.moveto(10, 10)
+        for x, y in [(30, 10), (30, 20), (10, 20)]:
+            path.lineto(x, y, heap.malloc(24))
+        path.close(heap.malloc(24))
+        raster.fill_path(path)
+        # 20 wide x 10 scanlines, plus boundary pixels.
+        assert 180 <= device.painted_pixels <= 260
+
+    def test_fill_frees_span_buffer(self):
+        heap, device, raster = make_rasterizer()
+        path = Path(heap)
+        path.moveto(0, 0)
+        path.lineto(10, 0, heap.malloc(24))
+        path.lineto(10, 5, heap.malloc(24))
+        path.close(heap.malloc(24))
+        live_before = heap.live_objects
+        raster.fill_path(path)
+        # Only the clist record persists (until showpage).
+        assert heap.live_objects == live_before + 1
+
+    def test_span_buffer_size(self):
+        heap, device, raster = make_rasterizer()
+        buf = raster.span_buffer()
+        assert buf.size == 100 * SPAN_BYTES_PER_COLUMN
+
+    def test_stroke_paints(self):
+        heap, device, raster = make_rasterizer()
+        path = Path(heap)
+        path.moveto(0, 5)
+        path.lineto(50, 5, heap.malloc(24))
+        raster.stroke_path(path)
+        assert device.painted_pixels >= 50
+
+    def test_clist_freed_at_showpage(self):
+        heap, device, raster = make_rasterizer()
+        device.record_op(64)
+        device.record_op(32)
+        live = heap.live_objects
+        device.show_page()
+        assert heap.live_objects == live - 2
+        assert device.pages_shown == 1
+
+    def test_flatten_curve_point_count(self):
+        heap, device, raster = make_rasterizer()
+        points = raster.flatten_curve(0, 0, 10, 20, 30, 20, 40, 0)
+        assert len(points) == 12
+        assert points[-1] == (40.0, 0.0)
+
+    def test_glyph_cache_hit_miss_evict(self):
+        heap = TracedHeap("ghost-test")
+        cache = GlyphCache(heap, capacity=2)
+        assert cache.lookup("a", 10) is None
+        cache.insert("a", 10, heap.malloc(32))
+        assert cache.lookup("a", 10) is not None
+        cache.insert("b", 10, heap.malloc(32))
+        cache.insert("c", 10, heap.malloc(32))  # evicts "a"
+        assert cache.lookup("a", 10) is None
+        assert cache.hits == 1
+        assert cache.misses == 3
+
+
+def run_ps(source: str) -> PSInterp:
+    interp = PSInterp(TracedHeap("ghost-test"))
+    interp.run(source)
+    return interp
+
+
+class TestInterpreter:
+    def test_arithmetic_stack(self):
+        interp = run_ps("1 2 add 4 mul")
+        assert interp.opstack == [("num", 12.0)]
+
+    def test_dup_pop_exch(self):
+        interp = run_ps("1 2 exch dup pop")
+        assert interp.opstack == [("num", 2.0), ("num", 1.0)]
+
+    def test_def_and_lookup(self):
+        interp = run_ps("/x 42 def x x add")
+        assert interp.opstack == [("num", 84.0)]
+
+    def test_procedures(self):
+        interp = run_ps("/double { 2 mul } def 21 double")
+        assert interp.opstack == [("num", 42.0)]
+
+    def test_repeat(self):
+        interp = run_ps("0 4 { 1 add } repeat")
+        assert interp.opstack == [("num", 4.0)]
+
+    def test_for_loop(self):
+        interp = run_ps("0 1 1 5 { add } for")
+        assert interp.opstack == [("num", 15.0)]
+
+    def test_ifelse(self):
+        interp = run_ps("1 2 lt { 10 } { 20 } ifelse")
+        assert interp.opstack == [("num", 10.0)]
+
+    def test_comparison_ops(self):
+        interp = run_ps("3 3 eq 2 5 ge")
+        assert interp.opstack == [("num", 1.0), ("num", 0.0)]
+
+    def test_stack_underflow(self):
+        with pytest.raises(PSError):
+            run_ps("add")
+
+    def test_undefined_name(self):
+        with pytest.raises(PSError):
+            run_ps("nonsense")
+
+    def test_division_by_zero(self):
+        with pytest.raises(PSError):
+            run_ps("1 0 div")
+
+    def test_paint_and_showpage(self):
+        interp = run_ps(
+            "newpath 10 10 moveto 100 0 rlineto stroke showpage"
+        )
+        assert interp.device.pages_shown == 1
+        assert interp.device.painted_pixels > 0
+
+    def test_fill_square(self):
+        interp = run_ps(
+            "newpath 10 10 moveto 20 0 rlineto 0 20 rlineto -20 0 rlineto "
+            "closepath fill"
+        )
+        assert interp.device.painted_pixels >= 400
+
+    def test_curveto_flattens(self):
+        interp = run_ps(
+            "newpath 0 0 moveto 10 20 30 20 40 0 curveto stroke"
+        )
+        assert interp.device.painted_pixels > 0
+
+    def test_show_requires_font(self):
+        with pytest.raises(PSError):
+            run_ps("10 10 moveto (hi) show")
+
+    def test_show_paints_and_advances(self):
+        interp = run_ps(
+            "/Times findfont 10 scalefont setfont "
+            "10 10 moveto (hello) show"
+        )
+        assert interp.device.painted_pixels > 0
+        x, _ = interp.path.current
+        assert x > 10
+
+    def test_glyph_cache_reused_across_shows(self):
+        interp = run_ps(
+            "/Times findfont 10 scalefont setfont "
+            "10 10 moveto (aaaa) show"
+        )
+        assert interp.glyphs.misses == 1
+        assert interp.glyphs.hits == 3
+
+    def test_translate_and_grestore(self):
+        interp = run_ps(
+            "gsave 100 100 translate newpath 0 0 moveto 10 0 rlineto stroke "
+            "grestore newpath 0 0 moveto 10 0 rlineto stroke"
+        )
+        assert interp.translate_x == 0
+        assert interp.device.painted_pixels > 0
+
+    def test_grestore_underflow(self):
+        with pytest.raises(PSError):
+            run_ps("grestore")
+
+
+class TestGhostWorkload:
+    def test_tiny_run_pages(self):
+        heap = TracedHeap("ghost", "tiny")
+        workload = GhostWorkload(heap)
+        workload.run("tiny")
+        assert workload.pages_shown == 2
+        assert workload.painted_pixels > 10000
+
+    def test_span_buffers_dominant_and_oversized(self, ghost_tiny):
+        from repro.workloads.ghost.graphics import PAGE_WIDTH
+
+        span_size = PAGE_WIDTH * SPAN_BYTES_PER_COLUMN
+        span_bytes = sum(
+            ghost_tiny.size_of(i)
+            for i in range(ghost_tiny.total_objects)
+            if ghost_tiny.size_of(i) == span_size
+        )
+        assert span_size > 4096  # cannot fit the paper's arenas
+        assert span_bytes > 0.2 * ghost_tiny.total_bytes
+
+    def test_unknown_dataset(self):
+        with pytest.raises(Exception):
+            GhostWorkload.trace("nope")
+
+
+class TestExtendedOperators:
+    def test_arc_draws_circle(self):
+        interp = run_ps(
+            "newpath 100 100 30 0 360 arc closepath stroke"
+        )
+        # A full circle strokes roughly 2*pi*r pixels, thickened.
+        assert interp.device.painted_pixels > 150
+
+    def test_arc_fill(self):
+        interp = run_ps("newpath 100 100 20 0 360 arc closepath fill")
+        # Filled disc: ~pi * r^2 pixels.
+        area = interp.device.painted_pixels
+        assert 800 <= area <= 1800
+
+    def test_arc_requires_valid_radius(self):
+        with pytest.raises(PSError):
+            run_ps("newpath 0 0 -5 0 90 arc")
+
+    def test_scale_affects_coordinates(self):
+        plain = run_ps("newpath 10 10 moveto 20 0 rlineto stroke")
+        scaled = run_ps("2 2 scale newpath 10 10 moveto 20 0 rlineto stroke")
+        assert scaled.device.painted_pixels > plain.device.painted_pixels
+
+    def test_scale_zero_rejected(self):
+        with pytest.raises(PSError):
+            run_ps("0 1 scale")
+
+    def test_grestore_restores_scale_and_width(self):
+        interp = run_ps(
+            "gsave 3 3 scale 5 setlinewidth grestore "
+            "newpath 0 10 moveto 50 0 rlineto stroke"
+        )
+        assert interp.scale_x == 1.0
+        assert interp.line_width == 1.0
+
+    def test_setlinewidth_thickens_strokes(self):
+        thin = run_ps("newpath 10 50 moveto 100 0 rlineto stroke")
+        thick = run_ps(
+            "6 setlinewidth newpath 10 50 moveto 100 0 rlineto stroke"
+        )
+        assert thick.device.painted_pixels > 2 * thin.device.painted_pixels
+
+    def test_negative_linewidth_rejected(self):
+        with pytest.raises(PSError):
+            run_ps("-1 setlinewidth")
+
+    def test_stringwidth(self):
+        interp = run_ps(
+            "/Times findfont 10 scalefont setfont (abcd) stringwidth"
+        )
+        width, height = interp.opstack[-2], interp.opstack[-1]
+        assert width == ("num", 24.0)  # 0.6 * 10 * 4
+        assert height == ("num", 0.0)
+
+    def test_dict_begin_def_end(self):
+        interp = run_ps(
+            "4 dict begin /x 7 def x x add end"
+        )
+        assert interp.opstack == [("num", 14.0)]
+        # The local binding died with its scope.
+        with pytest.raises(PSError):
+            run_ps("4 dict begin /x 7 def end x")
+
+    def test_dict_shadows_userdict(self):
+        interp = run_ps(
+            "/x 1 def 2 dict begin /x 99 def x end x add"
+        )
+        assert interp.opstack == [("num", 100.0)]
+
+    def test_end_without_begin(self):
+        with pytest.raises(PSError):
+            run_ps("end")
+
+    def test_dict_scope_frees_bindings(self):
+        interp = run_ps("3 dict begin /p { 1 } def end")
+        # The proc bound inside the dict was freed at `end`.
+        assert interp.heap.live_objects < 20 + len(interp.userdict)

@@ -1,0 +1,165 @@
+"""Unit tests for the traced heap runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import HeapError, TracedHeap, traced
+
+
+class TestCallChain:
+    def test_root_frame(self):
+        heap = TracedHeap("p")
+        assert heap.call_chain == ("main",)
+        assert heap.depth == 1
+
+    def test_frame_push_pop(self):
+        heap = TracedHeap("p")
+        with heap.frame("outer"):
+            with heap.frame("inner"):
+                assert heap.call_chain == ("main", "outer", "inner")
+            assert heap.call_chain == ("main", "outer")
+        assert heap.call_chain == ("main",)
+
+    def test_frame_pops_on_exception(self):
+        heap = TracedHeap("p")
+        with pytest.raises(RuntimeError):
+            with heap.frame("f"):
+                raise RuntimeError("boom")
+        assert heap.call_chain == ("main",)
+
+    def test_calls_counted(self):
+        heap = TracedHeap("p")
+        with heap.frame("a"):
+            with heap.frame("b"):
+                pass
+        trace = heap.finish()
+        assert trace.total_calls == 2
+
+    def test_traced_decorator_uses_self_heap(self):
+        class Widget:
+            def __init__(self, heap):
+                self.heap = heap
+
+            @traced
+            def build(self):
+                return self.heap.malloc(8)
+
+        heap = TracedHeap("p")
+        obj = Widget(heap).build()
+        trace = heap.finish()
+        assert trace.chain_of(obj.obj_id) == ("main", "build")
+        assert trace.total_calls == 1
+
+
+class TestAllocation:
+    def test_malloc_advances_clock(self):
+        heap = TracedHeap("p")
+        heap.malloc(16)
+        heap.malloc(8)
+        assert heap.clock == 24
+
+    def test_zero_size_rejected(self):
+        heap = TracedHeap("p")
+        with pytest.raises(HeapError):
+            heap.malloc(0)
+
+    def test_payload_carried(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8, payload={"k": 1})
+        assert obj.payload == {"k": 1}
+
+    def test_live_accounting(self):
+        heap = TracedHeap("p")
+        a = heap.malloc(16)
+        heap.malloc(8)
+        assert (heap.live_bytes, heap.live_objects) == (24, 2)
+        heap.free(a)
+        assert (heap.live_bytes, heap.live_objects) == (8, 1)
+
+    def test_double_free_rejected(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        heap.free(obj)
+        with pytest.raises(HeapError):
+            heap.free(obj)
+
+    def test_foreign_object_rejected(self):
+        heap_a = TracedHeap("a")
+        heap_b = TracedHeap("b")
+        obj = heap_a.malloc(8)
+        with pytest.raises(HeapError):
+            heap_b.free(obj)
+
+    def test_realloc_frees_and_reallocates(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8, payload="data")
+        bigger = heap.realloc(obj, 32)
+        assert obj.freed
+        assert bigger.payload == "data"
+        assert bigger.size == 32
+        trace = heap.finish()
+        assert trace.total_objects == 2
+
+    def test_object_repr_mentions_state(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        assert "live" in repr(obj)
+        heap.free(obj)
+        assert "freed" in repr(obj)
+
+
+class TestTouching:
+    def test_touch_accumulates(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        heap.touch(obj, 3)
+        obj.touch()
+        assert obj.touches == 4
+        heap.free(obj)
+        trace = heap.finish()
+        assert trace.touches_of(obj.obj_id) == 4
+        assert trace.heap_refs == 4
+
+    def test_touch_after_free_rejected(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        heap.free(obj)
+        with pytest.raises(HeapError):
+            heap.touch(obj)
+
+    def test_negative_touch_rejected(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        with pytest.raises(HeapError):
+            heap.touch(obj, -1)
+
+    def test_non_heap_refs_per_call(self):
+        heap = TracedHeap("p", non_heap_refs_per_call=5)
+        with heap.frame("f"):
+            pass
+        heap.non_heap_refs(7)
+        trace = heap.finish()
+        assert trace.non_heap_refs == 12
+
+
+class TestFinish:
+    def test_finish_seals_heap(self):
+        heap = TracedHeap("p")
+        heap.finish()
+        with pytest.raises(HeapError):
+            heap.malloc(8)
+        with pytest.raises(HeapError):
+            heap.finish()
+
+    def test_survivor_lifetime_runs_to_exit(self):
+        heap = TracedHeap("p")
+        survivor = heap.malloc(8)
+        heap.malloc(100)
+        trace = heap.finish()
+        assert not trace.freed(survivor.obj_id)
+        assert trace.lifetime_of(survivor.obj_id) == 108
+
+    def test_program_and_dataset_recorded(self):
+        trace = TracedHeap("prog", dataset="ds").finish()
+        assert (trace.program, trace.dataset) == ("prog", "ds")

@@ -1,0 +1,105 @@
+"""Unit tests for the deterministic input generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.inputs import (
+    is_probable_prime,
+    pla_terms,
+    semiprimes,
+    text_lines,
+    word_list,
+)
+
+
+class TestWordList:
+    def test_deterministic(self):
+        assert word_list(20, seed=5) == word_list(20, seed=5)
+
+    def test_seed_changes_words(self):
+        assert word_list(20, seed=5) != word_list(20, seed=6)
+
+    def test_count(self):
+        assert len(word_list(37, seed=1)) == 37
+        assert word_list(0, seed=1) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            word_list(-1, seed=1)
+
+    def test_words_are_alphabetic(self):
+        for word in word_list(100, seed=9):
+            assert word.isalpha()
+            assert 2 <= len(word) <= 16
+
+
+class TestTextLines:
+    def test_line_shape(self):
+        lines = text_lines(50, seed=3, words_per_line=(2, 5))
+        assert len(lines) == 50
+        for line in lines:
+            assert 2 <= len(line.split()) <= 5
+
+    def test_bounded_vocabulary_repeats_words(self):
+        lines = text_lines(200, seed=3, vocabulary=10)
+        words = {w for line in lines for w in line.split()}
+        assert len(words) <= 10
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 561, 7917):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    def test_large_prime(self):
+        assert is_probable_prime(2**61 - 1)
+
+
+class TestSemiprimes:
+    def test_deterministic(self):
+        assert semiprimes(3, seed=1) == semiprimes(3, seed=1)
+
+    def test_digit_count(self):
+        for n in semiprimes(5, seed=2, digits=9):
+            assert 8 <= len(str(n)) <= 10
+
+    def test_composite_with_two_prime_factors(self):
+        for n in semiprimes(3, seed=4, digits=8):
+            assert not is_probable_prime(n)
+            factor = _smallest_factor(n)
+            assert is_probable_prime(factor)
+            assert is_probable_prime(n // factor)
+
+
+def _smallest_factor(n: int) -> int:
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return f
+        f += 2
+    raise AssertionError(f"{n} is prime")
+
+
+class TestPlaTerms:
+    def test_shape(self):
+        terms = pla_terms(inputs=8, terms=20, seed=5)
+        assert len(terms) == 20
+        for term in terms:
+            assert len(term) == 8
+            assert set(term) <= {"0", "1", "-"}
+
+    def test_dont_care_rate_zero(self):
+        terms = pla_terms(inputs=10, terms=30, seed=5, dont_care_rate=0.0)
+        assert all("-" not in term for term in terms)
+
+    def test_deterministic(self):
+        assert pla_terms(6, 10, seed=7) == pla_terms(6, 10, seed=7)

@@ -1,0 +1,178 @@
+"""Tests for the multi-class prediction extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.arena import ArenaAllocator
+from repro.alloc.base import AllocatorError
+from repro.alloc.multiarena import MultiArenaAllocator
+from repro.analysis.simulate import replay
+from repro.core.multiclass import (
+    MultiClassPredictor,
+    train_multiclass_predictor,
+)
+from repro.core.predictor import train_site_predictor
+from repro.runtime.heap import TracedHeap
+from tests.conftest import make_churn_trace
+
+
+def ladder_trace():
+    """Objects in three lifetime bands: ~100 B, ~5 KB, and whole-run (~70 KB)."""
+    heap = TracedHeap("ladder")
+    with heap.frame("work"):
+        with heap.frame("immortal"):
+            heap.malloc(128)  # allocated first: exit lifetime = whole run
+        short_live = []
+        medium_live = []
+        for index in range(3000):
+            with heap.frame("short"):
+                obj = heap.malloc(16)
+            short_live.append(obj)
+            if len(short_live) > 4:
+                heap.free(short_live.pop(0))
+            if index % 10 == 0:
+                with heap.frame("medium"):
+                    medium_live.append(heap.malloc(64))
+                if len(medium_live) > 25:  # ~25 * 10 * ~22B = ~5.5KB lives
+                    heap.free(medium_live.pop(0))
+        for obj in short_live + medium_live:
+            heap.free(obj)
+    return heap.finish()
+
+
+THRESHOLDS = (2048, 32 * 1024)
+
+
+class TestTraining:
+    def test_classes_assigned_by_band(self):
+        trace = ladder_trace()
+        predictor = train_multiclass_predictor(trace, thresholds=THRESHOLDS)
+        assert predictor.class_of(("main", "work", "short"), 16) == 0
+        assert predictor.class_of(("main", "work", "medium"), 64) == 1
+        assert predictor.class_of(("main", "work", "immortal"), 128) is None
+
+    def test_unknown_site_is_long(self):
+        trace = ladder_trace()
+        predictor = train_multiclass_predictor(trace, thresholds=THRESHOLDS)
+        assert predictor.class_of(("main", "other"), 8) is None
+
+    def test_class_zero_matches_single_threshold_predictor(self):
+        trace = make_churn_trace()
+        multi = train_multiclass_predictor(trace, thresholds=(4096, 65536))
+        single = train_site_predictor(trace, threshold=4096)
+        for obj_id in range(trace.total_objects):
+            chain = trace.chain_of(obj_id)
+            size = trace.size_of(obj_id)
+            assert multi.predicts_short_lived(chain, size) == (
+                single.predicts_short_lived(chain, size)
+            )
+
+    def test_site_counts(self):
+        trace = ladder_trace()
+        predictor = train_multiclass_predictor(trace, thresholds=THRESHOLDS)
+        assert predictor.class_site_count(0) >= 1
+        assert predictor.class_site_count(1) >= 1
+        assert predictor.site_count == (
+            predictor.class_site_count(0) + predictor.class_site_count(1)
+        )
+
+    def test_rejects_bad_ladder(self):
+        with pytest.raises(ValueError):
+            MultiClassPredictor({}, thresholds=(), chain_length=None,
+                                size_rounding=4)
+        with pytest.raises(ValueError):
+            MultiClassPredictor({}, thresholds=(100, 100), chain_length=None,
+                                size_rounding=4)
+        with pytest.raises(ValueError):
+            MultiClassPredictor({}, thresholds=(200, 100), chain_length=None,
+                                size_rounding=4)
+
+
+class TestMultiArenaAllocator:
+    def make(self, trace):
+        predictor = train_multiclass_predictor(trace, thresholds=THRESHOLDS)
+        return MultiArenaAllocator(predictor)
+
+    def test_replay_with_invariants(self):
+        trace = ladder_trace()
+        allocator = self.make(trace)
+        replay(trace, allocator, check_invariants=True)
+        survivors = sum(
+            trace.size_of(i) for i in range(trace.total_objects)
+            if not trace.freed(i)
+        )
+        assert allocator.live_bytes == survivors
+
+    def test_classes_land_in_their_areas(self):
+        trace = ladder_trace()
+        allocator = self.make(trace)
+        short_addr = allocator.malloc(16, ("main", "work", "short"))
+        medium_addr = allocator.malloc(64, ("main", "work", "medium"))
+        long_addr = allocator.malloc(128, ("main", "work", "immortal"))
+        assert allocator.areas[0].contains(short_addr)
+        assert allocator.areas[1].contains(medium_addr)
+        assert long_addr >= allocator.total_area_size
+        assert allocator.area_stats[0].allocs == 1
+        assert allocator.area_stats[1].allocs == 1
+
+    def test_area_sizes_follow_thresholds(self):
+        trace = ladder_trace()
+        allocator = self.make(trace)
+        assert allocator.areas[0].size == 2 * THRESHOLDS[0]
+        assert allocator.areas[1].size == 2 * THRESHOLDS[1]
+        assert allocator.max_heap_size >= allocator.total_area_size
+
+    def test_oversized_class_object_overflows(self):
+        # Build a predictor whose class-0 site allocates objects larger
+        # than a class-0 arena (4096 / 16 = 256 bytes).
+        from repro.core.sites import FULL_CHAIN, site_key
+
+        chain, size = ("main", "big"), 320
+        predictor = MultiClassPredictor(
+            {site_key(chain, size, FULL_CHAIN, 4): 0},
+            thresholds=THRESHOLDS,
+            chain_length=FULL_CHAIN,
+            size_rounding=4,
+        )
+        allocator = MultiArenaAllocator(predictor)
+        assert allocator.areas[0].arena_size < size
+        addr = allocator.malloc(size, chain)
+        # Too big for a class-0 arena: general heap, counted as overflow.
+        assert addr >= allocator.total_area_size
+        assert allocator.area_stats[0].overflows == 1
+
+    def test_free_dispatch(self):
+        trace = ladder_trace()
+        allocator = self.make(trace)
+        addrs = [
+            allocator.malloc(16, ("main", "work", "short")),
+            allocator.malloc(64, ("main", "work", "medium")),
+            allocator.malloc(128, ("main", "work", "immortal")),
+        ]
+        for addr in addrs:
+            allocator.free(addr)
+        assert allocator.live_bytes == 0
+        assert allocator.ops.arena_frees == 2
+
+    def test_matches_single_class_arena_when_one_rung(self):
+        trace = make_churn_trace()
+        single_pred = train_site_predictor(trace, threshold=4096)
+        multi_pred = train_multiclass_predictor(trace, thresholds=(4096,))
+        single = ArenaAllocator(single_pred)
+        multi = MultiArenaAllocator(multi_pred)
+        replay(trace, single)
+        replay(trace, multi)
+        assert multi.ops.arena_allocs == single.ops.arena_allocs
+        assert multi.arena_bytes == single.arena_bytes
+
+    def test_rejects_bad_geometry(self):
+        trace = ladder_trace()
+        predictor = train_multiclass_predictor(trace, thresholds=THRESHOLDS)
+        with pytest.raises(AllocatorError):
+            MultiArenaAllocator(predictor, arenas_per_area=0)
+
+    def test_zero_size_rejected(self):
+        trace = ladder_trace()
+        with pytest.raises(AllocatorError):
+            self.make(trace).malloc(0, ("main",))

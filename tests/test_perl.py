@@ -1,0 +1,222 @@
+"""Tests for the perl workload: lexer, parser, interpreter, and scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.perl.interp import PerlInterp, PerlRuntimeError
+from repro.workloads.perl.parser import PerlLexer, PerlSyntaxError
+from repro.workloads.perl.workload import FILL_SCRIPT, SORT_SCRIPT, PerlWorkload
+
+
+def run_perl(script: str, lines=()):
+    interp = PerlInterp(TracedHeap("perl-test"))
+    interp.compile(script)
+    interp.run(list(lines))
+    return interp
+
+
+class TestLexer:
+    def test_sigils(self):
+        tokens = PerlLexer('$x @a %h').tokens()
+        assert [t[0] for t in tokens] == [
+            "scalar-var", "array-var", "hash-var", "eof"
+        ]
+
+    def test_readline_token(self):
+        tokens = PerlLexer("while (<IN>)").tokens()
+        assert ("readline", None, 1) in tokens
+
+    def test_m_regex(self):
+        tokens = PerlLexer("$x =~ m/[0-9]+/").tokens()
+        assert ("regex", "[0-9]+", 1) in tokens
+
+    def test_slash_regex_after_paren(self):
+        tokens = PerlLexer("split(/ /, $x)").tokens()
+        assert ("regex", " ", 1) in tokens
+
+    def test_slash_as_division(self):
+        tokens = PerlLexer("$x / 2").tokens()
+        assert ("op", "/", 1) in tokens
+
+    def test_string_escapes(self):
+        tokens = PerlLexer(r'"a\nb"').tokens()
+        assert tokens[0][1] == "a\nb"
+
+    def test_comments_skipped(self):
+        tokens = PerlLexer("# comment\n$x").tokens()
+        assert tokens[0][0] == "scalar-var"
+
+    def test_unterminated_regex(self):
+        with pytest.raises(PerlSyntaxError):
+            PerlLexer("m/abc").tokens()
+
+
+class TestInterpreter:
+    def test_scalar_assignment_and_arith(self):
+        interp = run_perl('$x = 2; $y = $x * 3 + 1; print $y;')
+        assert interp.output == ["7"]
+
+    def test_string_ops(self):
+        interp = run_perl('$s = "ab" . "cd"; print uc($s), ":", length($s);')
+        assert interp.output == ["ABCD:4"]
+
+    def test_while_read_and_chomp(self):
+        interp = run_perl(
+            'while (<IN>) { chomp($_); print $_, "!"; }', ["a", "b"]
+        )
+        assert interp.output == ["a!", "b!"]
+
+    def test_push_and_scalar_context(self):
+        interp = run_perl(
+            'push(@a, "x"); push(@a, "y"); print scalar(@a);'
+        )
+        assert interp.output == ["2"]
+
+    def test_array_is_length_in_scalar_context(self):
+        interp = run_perl('@a = (1, 2, 3); $n = @a; print $n;')
+        assert interp.output == ["3"]
+
+    def test_sort_and_foreach(self):
+        interp = run_perl(
+            '@a = ("pear", "apple", "plum");'
+            'foreach $x (sort(@a)) { print $x, " "; }'
+        )
+        assert interp.output == ["apple ", "pear ", "plum "]
+
+    def test_reverse(self):
+        interp = run_perl('@a = (1, 2, 3); print join("-", reverse(@a));')
+        assert interp.output == ["3-2-1"]
+
+    def test_split_and_join(self):
+        interp = run_perl('print join(",", split(/ /, "a b  c"));')
+        assert interp.output == ["a,b,c"]
+
+    def test_split_on_class(self):
+        interp = run_perl('print join("", split(/[,;]/, "a,b;c"));')
+        assert interp.output == ["abc"]
+
+    def test_hash_store_and_keys(self):
+        interp = run_perl(
+            '$h{"a"} = 1; $h{"b"} = 2; $h{"a"} = 3;'
+            'print scalar(keys(%h)), ":", $h{"a"};'
+        )
+        assert interp.output == ["2:3"]
+
+    def test_array_element_assignment(self):
+        interp = run_perl('$a[2] = "z"; print scalar(@a), $a[2];')
+        assert interp.output == ["3z"]
+
+    def test_regex_match(self):
+        interp = run_perl(
+            '$x = "report 42";'
+            'if ($x =~ m/[0-9]+/) { print "num"; } else { print "none"; }'
+        )
+        assert interp.output == ["num"]
+
+    def test_substr(self):
+        interp = run_perl('print substr("abcdef", 1, 3);')
+        assert interp.output == ["bcd"]
+
+    def test_pop_and_shift(self):
+        interp = run_perl(
+            '@a = (1, 2, 3); $p = pop(@a); $s = shift(@a);'
+            'print $p, $s, scalar(@a);'
+        )
+        assert interp.output == ["311"]  # pop=3, shift=1, one element left
+
+    def test_string_vs_numeric_compare(self):
+        interp = run_perl(
+            'if ("10" lt "9") { print "str"; } if (10 < 9) { print "bad"; }'
+        )
+        assert interp.output == ["str"]
+
+    def test_logical_operators(self):
+        interp = run_perl(
+            '$x = 1; if ($x == 1 && !defined($y)) { print "ok"; }'
+        )
+        assert interp.output == ["ok"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(PerlRuntimeError):
+            run_perl('print 1 / 0;')
+
+    def test_undef_is_falsy_and_empty(self):
+        interp = run_perl('print length($nope), ":", $nope + 1;')
+        assert interp.output == ["0:1"]
+
+    def test_temporaries_freed(self):
+        heap = TracedHeap("perl-test")
+        interp = PerlInterp(heap)
+        interp.compile('while (<IN>) { chomp($_); $n = $n + length($_); }')
+        interp.run(["abc", "defg"])
+        # Live: op tree, $_ and $n slots, regex cache (none here).
+        assert heap.live_objects < 50
+
+
+class TestScripts:
+    def test_sort_script_sorts(self):
+        lines = ["pear 1", "apple 2", "plum 3"]
+        interp = run_perl(SORT_SCRIPT, lines)
+        body, summary = interp.output[:-1], interp.output[-1]
+        assert body == sorted(body)
+        assert "lines:3" in summary
+        assert "words:6" in summary
+        assert "numeric:3" in summary
+
+    def test_fill_script_width(self):
+        words = [f"word{i}" for i in range(40)]
+        lines = [" ".join(words[i : i + 4]) for i in range(0, 40, 4)]
+        interp = run_perl(FILL_SCRIPT, lines)
+        for line in interp.output:
+            if " " in line:
+                assert len(line) <= 60
+        assert " ".join(interp.output).split() == words
+
+
+class TestWorkloadDatasets:
+    def test_train_uses_different_program_than_test(self):
+        train = PerlWorkload.trace("train", scale=0.05)
+        test = PerlWorkload.trace("test", scale=0.05)
+        train_chains = set(train.chains.to_list())
+        test_chains = set(test.chains.to_list())
+        assert train_chains != test_chains
+
+    def test_unknown_dataset(self):
+        with pytest.raises(Exception):
+            PerlWorkload.trace("nope")
+
+
+class TestExtendedBuiltins:
+    def test_sprintf_conversions(self):
+        interp = run_perl(
+            'print sprintf("%s=%d (0x%x) %f%%", "n", 42.7, 255, 1.5);'
+        )
+        assert interp.output == ["n=42 (0xff) 1.500000%"]
+
+    def test_sprintf_errors(self):
+        with pytest.raises(PerlRuntimeError):
+            run_perl('print sprintf("%d");')
+        with pytest.raises(PerlRuntimeError):
+            run_perl('print sprintf("%q", 1);')
+
+    def test_string_repeat_operator(self):
+        interp = run_perl('print "ab" x 3, ":", "-" x 0;')
+        assert interp.output == ["ababab:"]
+
+    def test_index_zero_based(self):
+        interp = run_perl('print index("hello", "ll"), index("abc", "z");')
+        assert interp.output == ["2-1"]
+
+    def test_exists(self):
+        interp = run_perl(
+            '$h{"k"} = 1;'
+            'if (exists($h{"k"})) { print "yes"; }'
+            'if (!exists($h{"z"})) { print "no"; }'
+        )
+        assert interp.output == ["yes", "no"]
+
+    def test_exists_requires_hash_elem(self):
+        with pytest.raises(PerlRuntimeError):
+            run_perl('print exists($x);')

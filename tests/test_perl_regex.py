@@ -1,0 +1,153 @@
+"""Tests for the regex-lite engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.heap import TracedHeap
+from repro.workloads.perl.regex import RegexError, compile_pattern
+
+
+def matcher(pattern: str):
+    """Compile a pattern and return a ``match(text) -> bool`` function."""
+    heap = TracedHeap("regex-test")
+    regex = compile_pattern(heap, pattern, heap.malloc)
+    return lambda text: regex.match(text, heap.malloc)
+
+
+class TestLiterals:
+    def test_substring_search(self):
+        m = matcher("bc")
+        assert m("abcd")
+        assert m("bc")
+        assert not m("b c")
+
+    def test_empty_pattern_matches_everything(self):
+        m = matcher("")
+        assert m("")
+        assert m("anything")
+
+    def test_escaped_literal(self):
+        m = matcher(r"a\.b")
+        assert m("a.b")
+        assert not m("axb")
+
+
+class TestMetacharacters:
+    def test_dot(self):
+        m = matcher("a.c")
+        assert m("abc")
+        assert m("a-c")
+        assert not m("ac")
+
+    def test_char_class(self):
+        m = matcher("[abc]x")
+        assert m("bx")
+        assert not m("dx")
+
+    def test_class_range(self):
+        m = matcher("[a-f]9")
+        assert m("c9")
+        assert not m("g9")
+
+    def test_negated_class(self):
+        m = matcher("[^0-9]")
+        assert m("x")
+        assert not m("42")
+
+    def test_digit_escape(self):
+        m = matcher(r"\d\d")
+        assert m("ab12cd")
+        assert not m("a1b2")
+
+    def test_word_and_space_escapes(self):
+        assert matcher(r"\w")("a")
+        assert matcher(r"\s")("a b")
+        assert not matcher(r"\s")("ab")
+
+
+class TestQuantifiers:
+    def test_star(self):
+        m = matcher("ab*c")
+        assert m("ac")
+        assert m("abbbc")
+
+    def test_plus(self):
+        m = matcher("ab+c")
+        assert not m("ac")
+        assert m("abc")
+        assert m("abbc")
+
+    def test_optional(self):
+        m = matcher("colou?r")
+        assert m("color")
+        assert m("colour")
+        assert not m("colouur")
+
+    def test_greedy_backtracking(self):
+        # a.*b must match even when .* initially eats the final b.
+        m = matcher("a.*b")
+        assert m("axxbyyb")
+        assert m("ab")
+        assert not m("ba")
+
+    def test_class_star(self):
+        m = matcher("[0-9]*x")
+        assert m("123x")
+        assert m("x")
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        m = matcher("^ab")
+        assert m("abc")
+        assert not m("cab")
+
+    def test_end_anchor(self):
+        m = matcher("ab$")
+        assert m("cab")
+        assert not m("abc")
+
+    def test_both_anchors(self):
+        m = matcher("^abc$")
+        assert m("abc")
+        assert not m("abcd")
+        assert not m("xabc")
+
+    def test_anchored_empty(self):
+        m = matcher("^$")
+        assert m("")
+        assert not m("a")
+
+
+class TestErrors:
+    def test_unterminated_class(self):
+        with pytest.raises(RegexError):
+            matcher("[abc")
+
+    def test_dangling_quantifier(self):
+        with pytest.raises(RegexError):
+            matcher("*a")
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexError):
+            matcher("ab\\")
+
+    def test_bad_range(self):
+        with pytest.raises(RegexError):
+            matcher("[z-a]")
+
+
+class TestAllocationBehaviour:
+    def test_compiled_nodes_are_traced(self):
+        heap = TracedHeap("regex-test")
+        before = heap.live_objects
+        compile_pattern(heap, "a[0-9]+c", heap.malloc)
+        assert heap.live_objects == before + 3  # one node per atom
+
+    def test_match_state_freed(self):
+        heap = TracedHeap("regex-test")
+        regex = compile_pattern(heap, "abc", heap.malloc)
+        live = heap.live_objects
+        regex.match("xxabcxx", heap.malloc)
+        assert heap.live_objects == live

@@ -1,0 +1,99 @@
+"""Unit tests for per-site lifetime profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import SiteStats, build_profile
+from repro.core.sites import FULL_CHAIN
+from tests.conftest import make_churn_trace
+
+
+class TestSiteStats:
+    def test_observe_accumulates(self):
+        stats = SiteStats()
+        stats.observe(size=16, lifetime=100, touches=2)
+        stats.observe(size=32, lifetime=50, touches=1)
+        assert stats.objects == 2
+        assert stats.bytes == 48
+        assert stats.touches == 3
+        assert stats.min_lifetime == 50
+        assert stats.max_lifetime == 100
+
+    def test_all_short_lived_threshold(self):
+        stats = SiteStats()
+        stats.observe(size=8, lifetime=100, touches=0)
+        assert stats.all_short_lived(101)
+        assert not stats.all_short_lived(100)  # strict less-than
+
+    def test_one_long_lived_disqualifies(self):
+        stats = SiteStats()
+        for _ in range(10):
+            stats.observe(size=8, lifetime=10, touches=0)
+        stats.observe(size=8, lifetime=10**6, touches=0)
+        assert not stats.all_short_lived(1000)
+
+    def test_unfreed_counted_separately(self):
+        stats = SiteStats()
+        stats.observe(size=8, lifetime=500, touches=0, freed=False)
+        assert stats.unfreed_objects == 1
+        assert stats.unfreed_bytes == 8
+        # Exit-time lifetime still feeds the short-lived rule.
+        assert stats.all_short_lived(501)
+
+    def test_empty_stats_never_short_lived(self):
+        assert not SiteStats().all_short_lived(10**9)
+
+    def test_histogram_collects_lifetimes(self):
+        stats = SiteStats()
+        for lifetime in range(1, 101):
+            stats.observe(size=8, lifetime=lifetime, touches=0)
+        assert stats.histogram.min == 1
+        assert stats.histogram.max == 100
+
+
+class TestBuildProfile:
+    def test_groups_by_site(self, churn_trace):
+        profile = build_profile(churn_trace)
+        assert profile.total_objects == churn_trace.total_objects
+        assert profile.total_bytes == churn_trace.total_bytes
+        # churn sites: one per distinct size under helper, plus the keeper.
+        keys = {key for key, _ in profile.sites()}
+        assert (("main", "work", "helper"), 16) in keys
+        assert (("main", "work", "keeper"), 2048) in keys
+
+    def test_size_rounding_merges_sites(self):
+        trace = make_churn_trace(sizes=(13, 15))
+        merged = build_profile(trace, size_rounding=16)
+        unmerged = build_profile(trace, size_rounding=1)
+        assert len(merged) < len(unmerged)
+
+    def test_chain_length_one_merges_contexts(self, churn_trace):
+        short = build_profile(churn_trace, chain_length=1)
+        # Everything allocated directly under "helper" or "keeper".
+        assert {key[0] for key, _ in short.sites()} == {("helper",), ("keeper",)}
+
+    def test_level_recorded(self, churn_trace):
+        profile = build_profile(churn_trace, chain_length=4, size_rounding=8)
+        assert profile.level == (4, 8)
+        full = build_profile(churn_trace)
+        assert full.level == (FULL_CHAIN, 1)
+
+    def test_short_lived_sites_selection(self, churn_trace):
+        profile = build_profile(churn_trace)
+        selected = profile.short_lived_sites(4096)
+        # The churn sites qualify; the keeper (long-lived) must not.
+        assert (("main", "work", "keeper"), 2048) not in selected
+        assert any(key[0][-1] == "helper" for key in selected)
+
+    def test_stats_lookup(self, churn_trace):
+        profile = build_profile(churn_trace)
+        key = (("main", "work", "keeper"), 2048)
+        assert key in profile
+        assert profile.stats(key).objects == 1
+        with pytest.raises(KeyError):
+            profile.stats((("nope",), 1))
+
+    def test_len_counts_sites(self, churn_trace):
+        profile = build_profile(churn_trace)
+        assert len(profile) == sum(1 for _ in profile.sites())

@@ -1,0 +1,121 @@
+"""Unit tests for trace serialization."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
+from tests.conftest import make_churn_trace
+
+
+class TestRoundTrip:
+    def test_plain_json(self, tmp_path):
+        trace = make_churn_trace(objects=50)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        self.assert_traces_equal(trace, loaded)
+
+    def test_gzip(self, tmp_path):
+        trace = make_churn_trace(objects=50)
+        path = tmp_path / "trace.json.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        self.assert_traces_equal(trace, loaded)
+        # Must really be gzip on disk.
+        with gzip.open(path, "rb") as fh:
+            fh.read(16)
+
+    @staticmethod
+    def assert_traces_equal(a, b):
+        assert b.program == a.program
+        assert b.dataset == a.dataset
+        assert b.total_objects == a.total_objects
+        assert b.total_bytes == a.total_bytes
+        assert b.total_calls == a.total_calls
+        assert b.heap_refs == a.heap_refs
+        assert b.non_heap_refs == a.non_heap_refs
+        assert list(b.events()) == list(a.events())
+        for obj_id in range(a.total_objects):
+            assert b.record(obj_id) == a.record(obj_id)
+            assert b.chain_of(obj_id) == a.chain_of(obj_id)
+
+    def test_workload_trace_round_trip(self, tmp_path, gawk_tiny):
+        path = tmp_path / "gawk.json.gz"
+        save_trace(gawk_tiny, path)
+        loaded = load_trace(path)
+        assert loaded.total_objects == gawk_tiny.total_objects
+        assert loaded.live_stats() == gawk_tiny.live_stats()
+
+
+class TestErrors:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_bytes(b"this is not json")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "vers.json"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 999}))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 1}))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_non_dict_document(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: arbitrary alloc/free/touch programs survive the file."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free", "touch"]),
+            st.integers(min_value=1, max_value=500),
+        ),
+        min_size=1, max_size=60,
+    ))
+    def test_random_programs(self, tmp_path_factory, script):
+        from repro.runtime.heap import TracedHeap
+
+        heap = TracedHeap("prop", record_touches=True)
+        live = []
+        with heap.frame("work"):
+            for action, number in script:
+                if action == "alloc":
+                    live.append(heap.malloc(number))
+                elif action == "free" and live:
+                    heap.free(live.pop(number % len(live)))
+                elif action == "touch" and live:
+                    heap.touch(live[number % len(live)], 1 + number % 5)
+        trace = heap.finish()
+        path = tmp_path_factory.mktemp("rt") / "trace.json.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded.full_events()) == list(trace.full_events())
+        assert loaded.total_bytes == trace.total_bytes
+        assert loaded.live_stats() == trace.live_stats()
+        for obj_id in range(trace.total_objects):
+            assert loaded.lifetime_of(obj_id) == trace.lifetime_of(obj_id)
