@@ -2,9 +2,15 @@
 
 All table benchmarks share one :class:`~repro.analysis.TraceStore` at full
 scale (override with ``REPRO_BENCH_SCALE``), so the five workloads run
-their train and test inputs once per session.  Each benchmark writes its
-rendered table to ``results/`` so the regenerated rows can be compared
-with the paper's (see EXPERIMENTS.md).
+their train and test inputs once per session.  The store sits on the
+persistent on-disk trace cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-alloc``; set ``REPRO_NO_CACHE`` to opt out), so traces
+survive *across* benchmark sessions — a re-run loads every trace in
+milliseconds instead of re-tracing the workloads.  A cache summary from
+:data:`repro.analysis.METRICS` prints at the end of the session.
+
+Each benchmark writes its rendered table to ``results/`` so the
+regenerated rows can be compared with the paper's (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import pathlib
 
 import pytest
 
-from repro.analysis import TraceStore
+from repro.analysis import METRICS, TraceStore
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -34,3 +40,17 @@ def results_dir() -> pathlib.Path:
 def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Store one experiment's rendered output under results/."""
     (results_dir / name).write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    """Show trace-cache effectiveness for this benchmark session."""
+    hits = METRICS.counter("trace_cache.hit")
+    misses = METRICS.counter("trace_cache.miss")
+    if hits or misses:
+        run = METRICS.timing("workload.run")
+        load = METRICS.timing("trace_cache.load")
+        terminalreporter.write_line(
+            f"trace cache: {hits} hits, {misses} misses "
+            f"(workload runs {run.seconds:.2f}s, cache loads "
+            f"{load.seconds:.2f}s)"
+        )

@@ -1,6 +1,13 @@
 """Experiment drivers: trace-driven simulation and the paper's tables."""
 
-from repro.analysis.experiments import EVAL_DATASET, TRAIN_DATASET, TraceStore
+from repro.analysis.experiments import (
+    EVAL_DATASET,
+    TRAIN_DATASET,
+    TraceStore,
+    WarmResult,
+)
+from repro.analysis.metrics import METRICS, Metrics
+from repro.analysis.trace_cache import TraceCache, default_cache_dir
 from repro.analysis.locality import (
     LocalityResult,
     compare_locality,
@@ -44,6 +51,11 @@ __all__ = [
     "EVAL_DATASET",
     "TRAIN_DATASET",
     "TraceStore",
+    "WarmResult",
+    "METRICS",
+    "Metrics",
+    "TraceCache",
+    "default_cache_dir",
     "LocalityResult",
     "compare_locality",
     "measure_locality",

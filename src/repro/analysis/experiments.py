@@ -6,6 +6,20 @@ tables need the same executions, so a :class:`TraceStore` runs each
 trained from it.  The benchmarks, CLI, and examples all share one store
 per process.
 
+Two layers back the store:
+
+* an in-process dictionary (as before), and
+* the persistent :class:`~repro.analysis.trace_cache.TraceCache`, enabled
+  by default, so *other* processes — pytest workers, benchmark sessions,
+  repeated CLI invocations — load a gzipped trace in milliseconds instead
+  of re-running the workload.  Disable with ``use_cache=False`` or the
+  ``REPRO_NO_CACHE`` environment variable.
+
+:meth:`TraceStore.warm` fans the 5 programs × 2 datasets out across
+worker processes (``jobs > 1``); workers publish traces through the disk
+cache, which is also how ``repro-alloc table --jobs N`` shares one set of
+executions between table worker processes.
+
 Following the paper's methodology note — "the performance results
 presented apply to the largest of the input sets in all cases" — every
 table evaluates on the ``test`` dataset; *self* prediction trains on that
@@ -14,8 +28,13 @@ same execution, *true* prediction trains on ``train``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis.metrics import METRICS, Metrics
+from repro.analysis.trace_cache import TraceCache, cache_disabled_by_env
 from repro.core.cce import CCEPredictor, train_cce_predictor
 from repro.core.predictor import (
     DEFAULT_THRESHOLD,
@@ -27,7 +46,7 @@ from repro.core.sites import FULL_CHAIN
 from repro.runtime.events import Trace
 from repro.workloads.registry import PROGRAM_ORDER, run_workload
 
-__all__ = ["TraceStore", "EVAL_DATASET", "TRAIN_DATASET"]
+__all__ = ["TraceStore", "WarmResult", "EVAL_DATASET", "TRAIN_DATASET"]
 
 #: The dataset every table evaluates on (the paper's "largest input").
 EVAL_DATASET = "test"
@@ -35,11 +54,60 @@ EVAL_DATASET = "test"
 TRAIN_DATASET = "train"
 
 
-class TraceStore:
-    """Caches workload traces and trained predictors for one scale."""
+@dataclass(frozen=True)
+class WarmResult:
+    """Outcome of warming one (program, dataset) execution.
 
-    def __init__(self, scale: float = 1.0):
+    ``source`` is ``"memory"`` (already in this store), ``"disk"`` (loaded
+    from the persistent cache), or ``"run"`` (the workload executed).
+    """
+
+    program: str
+    dataset: str
+    source: str
+    seconds: float
+
+
+def _warm_worker(
+    program: str, dataset: str, scale: float, cache_dir: str
+) -> WarmResult:
+    """Child-process body of a parallel warm: trace via the disk cache."""
+    cache = TraceCache(cache_dir)
+    start = time.perf_counter()
+    if cache.load(program, dataset, scale) is not None:
+        return WarmResult(program, dataset, "disk", time.perf_counter() - start)
+    trace = run_workload(program, dataset, scale=scale)
+    cache.store(trace, scale)
+    return WarmResult(program, dataset, "run", time.perf_counter() - start)
+
+
+class TraceStore:
+    """Caches workload traces and trained predictors for one scale.
+
+    ``cache`` injects a ready :class:`TraceCache`; otherwise one is built
+    over ``cache_dir`` (default ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-alloc``) unless ``use_cache=False`` or
+    ``REPRO_NO_CACHE`` is set.  Timings and hit/miss counts go to
+    ``metrics`` (the process-wide default when omitted).
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        *,
+        cache: Optional[TraceCache] = None,
+        cache_dir: Union[str, None] = None,
+        use_cache: bool = True,
+        metrics: Optional[Metrics] = None,
+    ):
         self.scale = scale
+        self._metrics = metrics if metrics is not None else METRICS
+        if cache is not None:
+            self._cache: Optional[TraceCache] = cache
+        elif use_cache and not cache_disabled_by_env():
+            self._cache = TraceCache(cache_dir, metrics=self._metrics)
+        else:
+            self._cache = None
         self._traces: Dict[Tuple[str, str], Trace] = {}
         self._site_predictors: Dict[tuple, SitePredictor] = {}
         self._cce_predictors: Dict[tuple, CCEPredictor] = {}
@@ -49,13 +117,28 @@ class TraceStore:
         """The five programs in the paper's table order."""
         return list(PROGRAM_ORDER)
 
+    @property
+    def cache(self) -> Optional[TraceCache]:
+        """The persistent trace cache, or ``None`` when disabled."""
+        return self._cache
+
     def trace(self, program: str, dataset: str = EVAL_DATASET) -> Trace:
-        """The (cached) trace of one workload execution."""
+        """The (cached) trace of one workload execution.
+
+        Resolution order: this store's memory, the persistent disk cache,
+        then a fresh workload run (which also populates the disk cache).
+        """
         key = (program, dataset)
         if key not in self._traces:
-            self._traces[key] = run_workload(
-                program, dataset, scale=self.scale
-            )
+            trace = None
+            if self._cache is not None:
+                trace = self._cache.load(program, dataset, self.scale)
+            if trace is None:
+                with self._metrics.stage("workload.run"):
+                    trace = run_workload(program, dataset, scale=self.scale)
+                if self._cache is not None:
+                    self._cache.store(trace, self.scale)
+            self._traces[key] = trace
         return self._traces[key]
 
     def predictor(
@@ -95,8 +178,70 @@ class TraceStore:
         """A predictor trained on the evaluation execution itself."""
         return self.predictor(program, train_dataset=EVAL_DATASET, **kwargs)
 
-    def warm(self) -> None:
-        """Run every program's train and test executions now."""
-        for program in PROGRAM_ORDER:
-            self.trace(program, TRAIN_DATASET)
-            self.trace(program, EVAL_DATASET)
+    # ------------------------------------------------------------------
+    # Warming
+    # ------------------------------------------------------------------
+
+    def warm_pairs(self) -> List[Tuple[str, str]]:
+        """Every (program, dataset) execution the tables need."""
+        return [
+            (program, dataset)
+            for program in PROGRAM_ORDER
+            for dataset in (TRAIN_DATASET, EVAL_DATASET)
+        ]
+
+    def warm(self, jobs: Optional[int] = None) -> List[WarmResult]:
+        """Run every program's train and test executions now.
+
+        With ``jobs > 1`` and the disk cache enabled, executions fan out
+        across a :class:`~concurrent.futures.ProcessPoolExecutor`; workers
+        publish traces through the cache (memory in this process stays
+        lazy — the next :meth:`trace` call is a disk hit).  Without a
+        cache there is nowhere for workers to hand traces back, so the
+        warm runs serially in-process.  Returns one :class:`WarmResult`
+        per execution.
+        """
+        pairs = self.warm_pairs()
+        results: List[WarmResult] = []
+        with self._metrics.stage("warm"):
+            if jobs and jobs > 1 and self._cache is not None:
+                self._cache.directory.mkdir(parents=True, exist_ok=True)
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [
+                        pool.submit(
+                            _warm_worker,
+                            program,
+                            dataset,
+                            self.scale,
+                            str(self._cache.directory),
+                        )
+                        for program, dataset in pairs
+                    ]
+                    for future in as_completed(futures):
+                        result = future.result()
+                        self._metrics.incr(f"warm.{result.source}")
+                        results.append(result)
+                order = {pair: i for i, pair in enumerate(pairs)}
+                results.sort(key=lambda r: order[(r.program, r.dataset)])
+            else:
+                for program, dataset in pairs:
+                    start = time.perf_counter()
+                    if (program, dataset) in self._traces:
+                        source = "memory"
+                    elif self._cache is not None and self._cache.has(
+                        program, dataset, self.scale
+                    ):
+                        source = "disk"
+                    else:
+                        source = "run"
+                    self.trace(program, dataset)
+                    self._metrics.incr(f"warm.{source}")
+                    results.append(
+                        WarmResult(
+                            program,
+                            dataset,
+                            source,
+                            time.perf_counter() - start,
+                        )
+                    )
+        return results

@@ -8,24 +8,31 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc simulate gawk-test.json.gz --sites gawk.sites
     repro-alloc quantiles gawk-test.json.gz
     repro-alloc sites gawk-test.json.gz --top 10
+    repro-alloc warm --jobs 4
     repro-alloc table all
 
 ``trace`` runs a workload and stores its allocation trace; ``profile``
 trains a short-lived site database from a trace; ``predict`` scores a
 database against a trace (Table 4's columns); ``simulate`` replays a
-trace against an allocator; ``table`` regenerates the paper's tables.
+trace against an allocator; ``warm`` populates the persistent trace
+cache (optionally in parallel); ``table`` regenerates the paper's
+tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import List, Optional
 
+from repro.alloc.base import AllocatorError
 from repro.analysis import TraceStore, simulate_arena, simulate_bsd, simulate_firstfit
 from repro.analysis import report as report_mod
 from repro.analysis.compare import diff_traces, render_diff
 from repro.analysis.inspect import lifetime_report, sites_report
+from repro.analysis.metrics import METRICS
 from repro.analysis import tables as tables_mod
 from repro.core.database import load_predictor, save_predictor
 from repro.core.predictor import (
@@ -35,7 +42,8 @@ from repro.core.predictor import (
     train_site_predictor,
 )
 from repro.core.sites import FULL_CHAIN
-from repro.runtime.tracefile import load_trace, save_trace
+from repro.runtime.heap import HeapError
+from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
 from repro.workloads.registry import PROGRAM_ORDER, run_workload
 
 __all__ = ["main"]
@@ -47,7 +55,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, TraceFormatError, AllocatorError,
+            HeapError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -132,13 +141,35 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="unpredictable sites to list (default 10)")
     diff.set_defaults(handler=_cmd_diff)
 
+    warm = sub.add_parser(
+        "warm", help="populate the persistent trace cache"
+    )
+    warm.add_argument("--scale", type=float, default=1.0,
+                      help="workload scale factor (default 1.0)")
+    _add_cache_options(warm)
+    warm.add_argument("-v", "--verbose", action="store_true",
+                      help="print per-stage wall times and cache counters")
+    warm.set_defaults(handler=_cmd_warm)
+
     table = sub.add_parser("table", help="regenerate the paper's tables")
     table.add_argument("which", help="table number 1-9, or 'all'")
     table.add_argument("--scale", type=float, default=1.0,
                        help="workload scale factor (default 1.0)")
+    _add_cache_options(table)
     table.set_defaults(handler=_cmd_table)
 
     return parser
+
+
+def _add_cache_options(sub: argparse.ArgumentParser) -> None:
+    """The trace-cache/parallelism flags shared by ``warm`` and ``table``."""
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default 1: serial)")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="trace cache directory (default $REPRO_CACHE_DIR "
+                          "or ~/.cache/repro-alloc)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="bypass the persistent trace cache")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -241,14 +272,71 @@ _TABLES = {
 }
 
 
+def _make_store(args: argparse.Namespace) -> TraceStore:
+    return TraceStore(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    store = _make_store(args)
+    results = store.warm(jobs=args.jobs)
+    for result in results:
+        label = f"{result.program}/{result.dataset}"
+        print(f"{label:<18} {result.source:<6} {result.seconds:6.2f}s")
+    total = METRICS.timing("warm").seconds
+    by_source = {
+        source: sum(1 for r in results if r.source == source)
+        for source in ("memory", "disk", "run")
+    }
+    where = store.cache.directory if store.cache is not None else "(no cache)"
+    print(
+        f"warmed {len(results)} executions in {total:.2f}s "
+        f"({by_source['memory']} memory, {by_source['disk']} disk, "
+        f"{by_source['run']} run) -> {where}"
+    )
+    if args.verbose:
+        print()
+        print(METRICS.report("pipeline metrics:"))
+    return 0
+
+
+def _table_worker(
+    key: str, scale: float, cache_dir: Optional[str], use_cache: bool
+) -> str:
+    """Child-process body of ``table --jobs N``: render one table."""
+    store = TraceStore(scale=scale, cache_dir=cache_dir, use_cache=use_cache)
+    compute, render = _TABLES[key]
+    return render(compute(store))
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     which = list(_TABLES) if args.which == "all" else [args.which]
     for key in which:
         if key not in _TABLES:
             raise ValueError(f"no table {key!r} (have 1-9 or 'all')")
-    store = TraceStore(scale=args.scale)
-    for key in which:
-        compute, render = _TABLES[key]
-        print(render(compute(store)))
-        print()
+    store = _make_store(args)
+    if args.jobs > 1 and len(which) > 1:
+        # Publish the traces once through the disk cache, then render the
+        # tables in parallel workers (each loads from the cache).  Output
+        # order stays deterministic regardless of completion order.
+        if store.cache is not None:
+            store.warm(jobs=args.jobs)
+        worker = partial(
+            _table_worker,
+            scale=args.scale,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            for text in pool.map(worker, which):
+                print(text)
+                print()
+    else:
+        for key in which:
+            compute, render = _TABLES[key]
+            print(render(compute(store)))
+            print()
     return 0

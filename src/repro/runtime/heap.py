@@ -223,7 +223,11 @@ class TracedHeap:
         Workloads call this at the natural use points of their algorithms
         (reading a digit array, walking a list node); the aggregate feeds
         the Heap Refs and New Ref measurements.
+
+        Raises :class:`HeapError` after :meth:`finish` — the trace is
+        sealed, so late touches would be silently lost.
         """
+        self._check_open()
         if count < 0:
             raise HeapError(f"touch count must be non-negative, got {count}")
         if obj._freed:
@@ -234,7 +238,12 @@ class TracedHeap:
             self._builder.add_touch_event(obj.obj_id, count)
 
     def non_heap_refs(self, count: int) -> None:
-        """Record ``count`` additional non-heap memory references."""
+        """Record ``count`` additional non-heap memory references.
+
+        Raises :class:`HeapError` after :meth:`finish`, like the other
+        mutators.
+        """
+        self._check_open()
         if count < 0:
             raise HeapError(f"ref count must be non-negative, got {count}")
         self._builder.non_heap_refs += count

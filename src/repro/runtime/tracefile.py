@@ -12,6 +12,8 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import tempfile
+import zlib
 from array import array
 from typing import Union
 
@@ -50,19 +52,42 @@ def save_trace(trace: Trace, path: PathLike) -> None:
         "touch_counts": arrays["touch_counts"].tolist(),
     }
     data = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-    if str(path).endswith(".gz"):
-        with gzip.open(path, "wb") as fh:
-            fh.write(data)
-    else:
-        with open(path, "wb") as fh:
-            fh.write(data)
+    name = os.fspath(path)
+    # Write-then-rename: an interrupted write must never leave a truncated
+    # file under the final name (the persistent trace cache relies on
+    # every published entry being complete).  The temp file lives in the
+    # destination directory so os.replace stays on one filesystem.
+    directory = os.path.dirname(name) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(name) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            if name.endswith(".gz"):
+                # mtime=0 keeps the bytes deterministic for a given trace.
+                with gzip.GzipFile(fileobj=fh, mode="wb", mtime=0) as gz:
+                    gz.write(data)
+            else:
+                fh.write(data)
+        os.replace(tmp, name)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_trace(path: PathLike) -> Trace:
     """Read a trace previously written by :func:`save_trace`."""
     if str(path).endswith(".gz"):
         with gzip.open(path, "rb") as fh:
-            data = fh.read()
+            try:
+                data = fh.read()
+            except (EOFError, zlib.error, gzip.BadGzipFile) as exc:
+                raise TraceFormatError(
+                    f"{path}: truncated or corrupt gzip data: {exc}"
+                ) from exc
     else:
         with open(path, "rb") as fh:
             data = fh.read()

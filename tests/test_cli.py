@@ -77,9 +77,58 @@ class TestPipeline:
         ]) == 0
 
 
+class TestCorruptTrace:
+    def test_truncated_gzip_is_a_clean_error(self, tmp_path, capsys):
+        # Regression: a truncated gzip used to escape as a raw traceback.
+        out = tmp_path / "t.json.gz"
+        assert main(["trace", "gawk", "tiny", "-o", str(out)]) == 0
+        out.write_bytes(out.read_bytes()[: out.stat().st_size // 2])
+        capsys.readouterr()
+        assert main(["quantiles", str(out)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "truncated or corrupt" in err
+
+    def test_corrupt_json_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sites", str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestWarmCommand:
+    def test_cold_then_hot(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["warm", "--scale", "0.02", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "warmed 10 executions" in out
+        assert "10 run" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "10 disk" in out
+        assert "0 run" in out
+
+    def test_verbose_prints_metrics(self, tmp_path, capsys):
+        assert main([
+            "warm", "--scale", "0.02",
+            "--cache-dir", str(tmp_path / "cache"), "-v",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline metrics:" in out
+        assert "workload.run" in out
+
+    def test_no_cache_runs_everything(self, capsys):
+        assert main(["warm", "--scale", "0.02", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "10 run" in out
+        assert "(no cache)" in out
+
+
 class TestTableCommand:
     def test_single_table(self, capsys):
-        assert main(["table", "5", "--scale", "0.05"]) == 0
+        assert main(["table", "5", "--scale", "0.05", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Table 5" in out
         assert "gawk" in out
@@ -87,6 +136,18 @@ class TestTableCommand:
     def test_unknown_table_rejected(self, capsys):
         assert main(["table", "42"]) == 1
         assert "no table" in capsys.readouterr().err
+
+    def test_output_identical_with_and_without_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table", "5", "--scale", "0.05",
+                     "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(["table", "5", "--scale", "0.05",
+                     "--cache-dir", cache_dir]) == 0
+        cached = capsys.readouterr().out
+        assert main(["table", "5", "--scale", "0.05", "--no-cache"]) == 0
+        uncached = capsys.readouterr().out
+        assert cold == cached == uncached
 
 
 class TestInspectionCommands:

@@ -152,6 +152,21 @@ class TestFinish:
         with pytest.raises(HeapError):
             heap.finish()
 
+    def test_touch_after_finish_raises(self):
+        heap = TracedHeap("p")
+        obj = heap.malloc(8)
+        heap.finish()
+        with pytest.raises(HeapError):
+            heap.touch(obj)
+        with pytest.raises(HeapError):
+            obj.touch()
+
+    def test_non_heap_refs_after_finish_raises(self):
+        heap = TracedHeap("p")
+        heap.finish()
+        with pytest.raises(HeapError):
+            heap.non_heap_refs(3)
+
     def test_survivor_lifetime_runs_to_exit(self):
         heap = TracedHeap("p")
         survivor = heap.malloc(8)

@@ -51,7 +51,50 @@ class TestRoundTrip:
         assert loaded.live_stats() == gawk_tiny.live_stats()
 
 
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        trace = make_churn_trace(objects=30)
+        save_trace(trace, tmp_path / "trace.json.gz")
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.json.gz"]
+
+    def test_interrupted_write_preserves_existing_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "trace.json.gz"
+        original = make_churn_trace(objects=30)
+        save_trace(original, path)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            "repro.runtime.tracefile.os.replace", exploding_replace
+        )
+        with pytest.raises(OSError):
+            save_trace(make_churn_trace(objects=60), path)
+        monkeypatch.undo()
+
+        # The old complete file is untouched and no temp litter remains.
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.json.gz"]
+        loaded = load_trace(path)
+        assert loaded.total_objects == original.total_objects
+
+    def test_same_trace_writes_identical_bytes(self, tmp_path):
+        trace = make_churn_trace(objects=30)
+        a, b = tmp_path / "a.json.gz", tmp_path / "b.json.gz"
+        save_trace(trace, a)
+        save_trace(trace, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestErrors:
+    def test_truncated_gzip_is_format_error(self, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        save_trace(make_churn_trace(objects=30), path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
     def test_not_json(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_bytes(b"this is not json")
