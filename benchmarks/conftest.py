@@ -43,7 +43,12 @@ def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter) -> None:
-    """Show trace-cache effectiveness for this benchmark session."""
+    """Show trace-cache effectiveness for this benchmark session.
+
+    Also drops the full metrics registry (timings and counters) as JSON
+    under ``results/`` so CI and scripts can consume the session's
+    pipeline measurements without scraping terminal output.
+    """
     hits = METRICS.counter("trace_cache.hit")
     misses = METRICS.counter("trace_cache.miss")
     if hits or misses:
@@ -54,3 +59,8 @@ def pytest_terminal_summary(terminalreporter) -> None:
             f"(workload runs {run.seconds:.2f}s, cache loads "
             f"{load.seconds:.2f}s)"
         )
+    if METRICS.timings or METRICS.counters:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        metrics_path = RESULTS_DIR / "metrics.json"
+        metrics_path.write_text(METRICS.to_json() + "\n", encoding="utf-8")
+        terminalreporter.write_line(f"pipeline metrics -> {metrics_path}")

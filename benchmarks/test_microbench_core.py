@@ -15,9 +15,11 @@ import random
 from repro.alloc.arena import ArenaAllocator
 from repro.alloc.bsd import BsdAllocator
 from repro.alloc.firstfit import FirstFitAllocator
+from repro.analysis.simulate import replay
 from repro.core.predictor import train_site_predictor
 from repro.core.quantile import P2Histogram
 from repro.core.sites import prune_recursive_cycles, site_key
+from repro.obs import Metrics, NullTelemetry, Telemetry
 
 from conftest import write_result  # noqa: F401  (shared fixture import path)
 from tests.conftest import make_churn_trace
@@ -99,3 +101,44 @@ def test_arena_bump_free_cycle(benchmark):
 
     benchmark(cycle)
     allocator.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Replay overhead: the telemetry probe must be near-free when disabled.
+# Compare these three to bound the instrumentation cost — the acceptance
+# bar is <5% between the uninstrumented replay and the probe-attached
+# no-op recorder.
+# ----------------------------------------------------------------------
+
+
+def test_replay_uninstrumented(benchmark):
+    trace = make_churn_trace(objects=400)
+    predictor = train_site_predictor(trace, threshold=4096)
+
+    def run():
+        replay(trace, ArenaAllocator(predictor))
+
+    benchmark(run)
+
+
+def test_replay_null_probe(benchmark):
+    trace = make_churn_trace(objects=400)
+    predictor = train_site_predictor(trace, threshold=4096)
+
+    def run():
+        replay(trace, ArenaAllocator(predictor), telemetry=NullTelemetry())
+
+    benchmark(run)
+
+
+def test_replay_full_telemetry(benchmark):
+    trace = make_churn_trace(objects=400)
+    predictor = train_site_predictor(trace, threshold=4096)
+
+    def run():
+        telemetry = Telemetry(interval=64, metrics=Metrics())
+        replay(trace, ArenaAllocator(predictor), telemetry=telemetry)
+        return telemetry
+
+    telemetry = benchmark(run)
+    assert telemetry.samples

@@ -172,6 +172,7 @@ class ArenaAllocator(Allocator):
             raise AllocatorError(f"allocation size must be positive, got {size}")
         self.ops.allocs += 1
         self.ops.bytes_requested += size
+        placement = "unpredicted"
         if self.predictor is not None and chain is not None:
             self.ops.predictions += 1
             if self.predictor.predicts_short_lived(chain, size):
@@ -180,10 +181,18 @@ class ArenaAllocator(Allocator):
                 if addr is not None:
                     self.ops.arena_allocs += 1
                     self.arena_bytes += size
+                    if self.probe is not None:
+                        self.probe.on_alloc(addr, size, chain, "arena")
                     return addr
                 self.ops.arena_overflows += 1
+                placement = "overflow"
+            else:
+                placement = "general"
         self.general_bytes += size
-        return self._general.malloc(size, chain)
+        addr = self._general.malloc(size, chain)
+        if self.probe is not None:
+            self.probe.on_alloc(addr, size, chain, placement)
+        return addr
 
     def _arena_malloc(self, size: int) -> Optional[int]:
         """Bump-allocate in the arenas; ``None`` when the object cannot fit.
@@ -220,6 +229,8 @@ class ArenaAllocator(Allocator):
         else:
             self._general.free(addr)
             self._general.ops.frees -= 1  # counted once, on this allocator
+        if self.probe is not None:
+            self.probe.on_free(addr)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -239,6 +250,31 @@ class ArenaAllocator(Allocator):
         return self._general.live_bytes + sum(
             arena.live_bytes for arena in self.arenas
         )
+
+    def telemetry_snapshot(self) -> dict:
+        """Arena-area gauges layered over the general heap's snapshot.
+
+        Fragmentation and free-list series describe the general heap;
+        ``arena_occupancy`` is the bump-allocated fraction of the whole
+        arena area, ``arena_live_arenas`` counts arenas holding at least
+        one live object, and ``arena_overflows``/``arena_resets`` are the
+        cumulative operation counters.
+        """
+        snapshot = self._general.telemetry_snapshot()
+        area = self.arena_area_size
+        occupied = sum(arena.used for arena in self.arenas)
+        arena_live = sum(arena.live_bytes for arena in self.arenas)
+        snapshot.update({
+            "heap_size": area + snapshot["heap_size"],
+            "max_heap_size": self.max_heap_size,
+            "live_bytes": arena_live + snapshot["live_bytes"],
+            "arena_occupancy": round(occupied / area, 6) if area else 0.0,
+            "arena_live_arenas": sum(1 for a in self.arenas if a.count),
+            "arena_live_bytes": arena_live,
+            "arena_overflows": self.ops.arena_overflows,
+            "arena_resets": self.ops.arena_resets,
+        })
+        return snapshot
 
     def check_invariants(self) -> None:
         """Arena counts must match live objects; general heap must audit."""

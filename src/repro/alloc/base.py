@@ -78,12 +78,26 @@ class Allocator:
     ``malloc`` takes the allocation's call chain so that predicting
     allocators can consult their site database; non-predicting allocators
     ignore it.
+
+    **Probe interface.**  A telemetry recorder (see
+    :mod:`repro.obs.telemetry`) may be attached with :meth:`attach_probe`;
+    the simulator then reports every completed operation via
+    ``probe.on_alloc(addr, size, chain, placement)`` /
+    ``probe.on_free(addr)`` and exposes its current gauges through
+    :meth:`telemetry_snapshot`.  With no probe attached (the default) the
+    only cost is one ``is None`` test per operation, so replays without
+    telemetry are unaffected.
     """
 
     name: str = "abstract"
 
     def __init__(self) -> None:
         self.ops = OpCounts()
+        self.probe = None  # telemetry recorder, or None (the fast path)
+
+    def attach_probe(self, probe) -> None:
+        """Attach (or with ``None`` detach) a telemetry recorder."""
+        self.probe = probe
 
     def malloc(self, size: int, chain: Optional[CallChain] = None) -> int:
         """Allocate ``size`` bytes; returns the simulated address."""
@@ -102,6 +116,21 @@ class Allocator:
     def live_bytes(self) -> int:
         """Bytes currently handed out to the program (payload, not headers)."""
         raise NotImplementedError
+
+    def telemetry_snapshot(self) -> dict:
+        """Current gauges for one telemetry sample.
+
+        Subclasses extend this with their structure-specific series
+        (fragmentation, free-list length, arena occupancy); the sampling
+        cadence is low, so snapshots may do modest O(structure) work, but
+        they must be pure reads — taking a snapshot never changes
+        simulation behaviour.
+        """
+        return {
+            "heap_size": self.max_heap_size,
+            "max_heap_size": self.max_heap_size,
+            "live_bytes": self.live_bytes,
+        }
 
     def check_invariants(self) -> None:
         """Validate internal consistency; raises :class:`AllocatorError`.

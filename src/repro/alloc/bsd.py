@@ -56,6 +56,10 @@ class BsdAllocator(Allocator):
         self._allocated: Dict[int, int] = {}  # addr -> (bucket, req size)
         self._req_sizes: Dict[int, int] = {}
         self._live_bytes = 0
+        # Telemetry gauges: total free blocks across buckets and the
+        # power-of-two bytes occupied by live objects.
+        self._free_blocks = 0
+        self._block_bytes_live = 0
 
     def malloc(self, size: int, chain: Optional[CallChain] = None) -> int:
         self.ops.allocs += 1
@@ -65,10 +69,15 @@ class BsdAllocator(Allocator):
         if not stack:
             self._refill(bucket)
         addr = stack.pop()
+        self._free_blocks -= 1
+        self._block_bytes_live += 1 << bucket
         self._allocated[addr] = bucket
         self._req_sizes[addr] = size
         self._live_bytes += size
-        return addr + BSD_HEADER_SIZE
+        user_addr = addr + BSD_HEADER_SIZE
+        if self.probe is not None:
+            self.probe.on_alloc(user_addr, size, chain, "unpredicted")
+        return user_addr
 
     def free(self, addr: int) -> None:
         base_addr = addr - BSD_HEADER_SIZE
@@ -78,6 +87,10 @@ class BsdAllocator(Allocator):
         self.ops.frees += 1
         self._live_bytes -= self._req_sizes.pop(base_addr)
         self._free[bucket].append(base_addr)
+        self._free_blocks += 1
+        self._block_bytes_live -= 1 << bucket
+        if self.probe is not None:
+            self.probe.on_free(addr)
 
     def _refill(self, bucket: int) -> None:
         """Carve a page (or one block, if larger) into bucket-size pieces."""
@@ -88,6 +101,7 @@ class BsdAllocator(Allocator):
         stack = self._free[bucket]
         for addr in range(start, start + chunk, block_size):
             stack.append(addr)
+            self._free_blocks += 1
 
     @property
     def max_heap_size(self) -> int:
@@ -97,8 +111,37 @@ class BsdAllocator(Allocator):
     def live_bytes(self) -> int:
         return self._live_bytes
 
+    def telemetry_snapshot(self) -> dict:
+        """Bucket-heap gauges.
+
+        ``internal_frag`` is the classic power-of-two waste: live blocks'
+        rounded size (header included) minus the bytes actually requested,
+        as a fraction of the heap extent.  ``external_frag`` is the bytes
+        sitting on free lists as a fraction of the extent.
+        """
+        extent = self.space.brk - self.space.base
+        free_bytes = extent - self._block_bytes_live
+        return {
+            "heap_size": extent,
+            "max_heap_size": self.space.max_heap_size,
+            "live_bytes": self._live_bytes,
+            "used_blocks": len(self._allocated),
+            "free_blocks": self._free_blocks,
+            "free_bytes": free_bytes,
+            "external_frag": _frac(free_bytes, extent),
+            "internal_frag": _frac(
+                self._block_bytes_live - self._live_bytes, extent
+            ),
+        }
+
     def check_invariants(self) -> None:
         """Every block is either allocated or on exactly one free list."""
+        total_free = sum(len(stack) for stack in self._free.values())
+        if total_free != self._free_blocks:
+            raise AllocatorError(
+                f"free-block gauge stale: counted {self._free_blocks}, "
+                f"lists hold {total_free}"
+            )
         seen = set()
         for bucket, stack in self._free.items():
             block_size = 1 << bucket
@@ -111,3 +154,9 @@ class BsdAllocator(Allocator):
         for addr in self._allocated:
             if addr in seen:
                 raise AllocatorError(f"block {addr} both free and allocated")
+
+
+def _frac(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return 0.0
+    return round(numerator / denominator, 6)

@@ -77,6 +77,12 @@ class FirstFitAllocator(Allocator):
         self._ends: Dict[int, _Block] = {}  # block ending at addr -> block
         self._rover: Optional[_Block] = None  # some free block, or None
         self._live_bytes = 0
+        # Telemetry gauges, maintained incrementally so snapshots never
+        # walk the heap: count and total size of allocated blocks, and
+        # the free-list length.
+        self._used_blocks = 0
+        self._used_block_bytes = 0
+        self._free_blocks = 0
 
     # ------------------------------------------------------------------
     # Public interface
@@ -94,7 +100,10 @@ class FirstFitAllocator(Allocator):
             block = self._grow(need)
         self._allocate_from(block, need, size)
         self._live_bytes += size
-        return block.addr + HEADER_SIZE
+        addr = block.addr + HEADER_SIZE
+        if self.probe is not None:
+            self.probe.on_alloc(addr, size, chain, "unpredicted")
+        return addr
 
     def free(self, addr: int) -> None:
         block = self._blocks.get(addr - HEADER_SIZE)
@@ -104,11 +113,15 @@ class FirstFitAllocator(Allocator):
             raise AllocatorError(f"double free at address {addr}")
         self.ops.frees += 1
         self._live_bytes -= block.req_size
+        self._used_blocks -= 1
+        self._used_block_bytes -= block.size
         block.free = True
         block.req_size = 0
         block = self._coalesce(block)
         if block.next is None:  # not already on the free list via a merge
             self._freelist_insert(block)
+        if self.probe is not None:
+            self.probe.on_free(addr)
 
     @property
     def max_heap_size(self) -> int:
@@ -117,6 +130,34 @@ class FirstFitAllocator(Allocator):
     @property
     def live_bytes(self) -> int:
         return self._live_bytes
+
+    def telemetry_snapshot(self) -> dict:
+        """Heap gauges from real block metadata (all O(1) reads).
+
+        * ``external_frag`` — bytes in free blocks as a fraction of the
+          heap extent (space the program break covers but no object uses);
+        * ``internal_frag`` — header and padding waste *inside* allocated
+          blocks (block size minus header minus requested bytes, summed)
+          as a fraction of the heap extent.
+        """
+        extent = self.space.brk - self.space.base
+        free_bytes = extent - self._used_block_bytes
+        internal_waste = (
+            self._used_block_bytes
+            - self._used_blocks * HEADER_SIZE
+            - self._live_bytes
+        )
+        return {
+            "heap_size": extent,
+            "max_heap_size": self.space.max_heap_size,
+            "live_bytes": self._live_bytes,
+            "used_blocks": self._used_blocks,
+            "free_blocks": self._free_blocks,
+            "free_bytes": free_bytes,
+            "external_frag": _frac(free_bytes, extent),
+            "internal_frag": _frac(internal_waste, extent),
+            "blocks_scanned": self.ops.blocks_scanned,
+        }
 
     # ------------------------------------------------------------------
     # Search and growth
@@ -175,6 +216,8 @@ class FirstFitAllocator(Allocator):
             self._freelist_remove(block)
         block.free = False
         block.req_size = req_size
+        self._used_blocks += 1
+        self._used_block_bytes += block.size
 
     # ------------------------------------------------------------------
     # Coalescing (boundary tags)
@@ -213,6 +256,7 @@ class FirstFitAllocator(Allocator):
     # ------------------------------------------------------------------
 
     def _freelist_insert(self, block: _Block) -> None:
+        self._free_blocks += 1
         if self._rover is None:
             block.prev = block.next = block
             self._rover = block
@@ -224,6 +268,7 @@ class FirstFitAllocator(Allocator):
         after.next = block
 
     def _freelist_remove(self, block: _Block) -> None:
+        self._free_blocks -= 1
         if block.next is block:
             self._rover = None
         else:
@@ -253,6 +298,8 @@ class FirstFitAllocator(Allocator):
         """Full heap audit: coverage, adjacency, free-list consistency."""
         addr = self.space.base
         free_blocks = set()
+        used_blocks = 0
+        used_block_bytes = 0
         prev_free = False
         while addr < self.space.brk:
             block = self._blocks.get(addr)
@@ -266,10 +313,21 @@ class FirstFitAllocator(Allocator):
                         f"adjacent free blocks not coalesced at {addr}"
                     )
                 free_blocks.add(id(block))
+            else:
+                used_blocks += 1
+                used_block_bytes += block.size
             prev_free = block.free
             addr += block.size
         if addr != self.space.brk:
             raise AllocatorError("blocks overrun the program break")
+        if (used_blocks, used_block_bytes) != (
+            self._used_blocks, self._used_block_bytes
+        ):
+            raise AllocatorError(
+                f"telemetry gauges stale: {self._used_blocks} blocks/"
+                f"{self._used_block_bytes} bytes counted, heap has "
+                f"{used_blocks}/{used_block_bytes}"
+            )
         # Free list must contain exactly the free blocks, each once.
         seen = set()
         if self._rover is not None:
@@ -285,3 +343,14 @@ class FirstFitAllocator(Allocator):
             raise AllocatorError(
                 f"free list has {len(seen)} blocks, heap has {len(free_blocks)}"
             )
+        if len(seen) != self._free_blocks:
+            raise AllocatorError(
+                f"free-list gauge stale: counted {self._free_blocks}, "
+                f"list has {len(seen)}"
+            )
+
+
+def _frac(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return 0.0
+    return round(numerator / denominator, 6)

@@ -150,6 +150,7 @@ class MultiArenaAllocator(Allocator):
             raise AllocatorError(f"allocation size must be positive, got {size}")
         self.ops.allocs += 1
         self.ops.bytes_requested += size
+        placement = "unpredicted"
         if chain is not None:
             self.ops.predictions += 1
             klass = self.predictor.class_of(chain, size)
@@ -162,11 +163,19 @@ class MultiArenaAllocator(Allocator):
                     self.ops.arena_allocs += 1
                     stats.allocs += 1
                     stats.bytes += size
+                    if self.probe is not None:
+                        self.probe.on_alloc(addr, size, chain, "arena")
                     return addr
                 stats.overflows += 1
                 self.ops.arena_overflows += 1
+                placement = "overflow"
+            else:
+                placement = "general"
         self.general_bytes += size
-        return self._general.malloc(size, chain)
+        addr = self._general.malloc(size, chain)
+        if self.probe is not None:
+            self.probe.on_alloc(addr, size, chain, placement)
+        return addr
 
     def free(self, addr: int) -> None:
         self.ops.frees += 1
@@ -175,10 +184,14 @@ class MultiArenaAllocator(Allocator):
                 if area.contains(addr):
                     area.free(addr)
                     self.ops.arena_frees += 1
+                    if self.probe is not None:
+                        self.probe.on_free(addr)
                     return
             raise AllocatorError(f"free of unmapped area address {addr}")
         self._general.free(addr)
         self._general.ops.frees -= 1  # counted once, on this allocator
+        if self.probe is not None:
+            self.probe.on_free(addr)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -199,6 +212,41 @@ class MultiArenaAllocator(Allocator):
     def arena_bytes(self) -> int:
         """Bytes served from any class area."""
         return sum(stats.bytes for stats in self.area_stats)
+
+    def telemetry_snapshot(self) -> dict:
+        """General-heap gauges plus per-class area occupancy/overflows."""
+        snapshot = self._general.telemetry_snapshot()
+        total_area = self.total_area_size
+        occupied = 0
+        live = 0
+        areas = []
+        for index, (area, stats) in enumerate(zip(self.areas, self.area_stats)):
+            used = sum(arena.used for arena in area.arenas)
+            area_live = area.live_bytes
+            occupied += used
+            live += area_live
+            areas.append({
+                "class": index,
+                "occupancy": round(used / area.size, 6) if area.size else 0.0,
+                "live_arenas": sum(1 for a in area.arenas if a.count),
+                "live_bytes": area_live,
+                "allocs": stats.allocs,
+                "overflows": stats.overflows,
+            })
+        snapshot.update({
+            "heap_size": total_area + snapshot["heap_size"],
+            "max_heap_size": self.max_heap_size,
+            "live_bytes": live + snapshot["live_bytes"],
+            "arena_occupancy": (
+                round(occupied / total_area, 6) if total_area else 0.0
+            ),
+            "arena_live_arenas": sum(a["live_arenas"] for a in areas),
+            "arena_live_bytes": live,
+            "arena_overflows": self.ops.arena_overflows,
+            "arena_resets": self.ops.arena_resets,
+            "areas": areas,
+        })
+        return snapshot
 
     def check_invariants(self) -> None:
         for area in self.areas:

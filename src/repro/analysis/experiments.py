@@ -70,15 +70,28 @@ class WarmResult:
 
 def _warm_worker(
     program: str, dataset: str, scale: float, cache_dir: str
-) -> WarmResult:
-    """Child-process body of a parallel warm: trace via the disk cache."""
-    cache = TraceCache(cache_dir)
+) -> Tuple[WarmResult, dict]:
+    """Child-process body of a parallel warm: trace via the disk cache.
+
+    Returns the warm outcome *and* a :meth:`Metrics.to_dict` snapshot of
+    everything the worker measured (cache loads/stores, workload runs) so
+    the parent can :meth:`Metrics.merge` it — process-pool workers get
+    their own ``METRICS`` registry, and without the snapshot their
+    timings would silently vanish from the session report.
+    """
+    metrics = Metrics()
+    cache = TraceCache(cache_dir, metrics=metrics)
     start = time.perf_counter()
     if cache.load(program, dataset, scale) is not None:
-        return WarmResult(program, dataset, "disk", time.perf_counter() - start)
-    trace = run_workload(program, dataset, scale=scale)
+        result = WarmResult(
+            program, dataset, "disk", time.perf_counter() - start
+        )
+        return result, metrics.to_dict()
+    with metrics.stage("workload.run"):
+        trace = run_workload(program, dataset, scale=scale)
     cache.store(trace, scale)
-    return WarmResult(program, dataset, "run", time.perf_counter() - start)
+    result = WarmResult(program, dataset, "run", time.perf_counter() - start)
+    return result, metrics.to_dict()
 
 
 class TraceStore:
@@ -218,7 +231,8 @@ class TraceStore:
                         for program, dataset in pairs
                     ]
                     for future in as_completed(futures):
-                        result = future.result()
+                        result, worker_metrics = future.result()
+                        self._metrics.merge(worker_metrics)
                         self._metrics.incr(f"warm.{result.source}")
                         results.append(result)
                 order = {pair: i for i, pair in enumerate(pairs)}

@@ -1,118 +1,12 @@
-"""Lightweight timing and counter instrumentation for the pipeline.
+"""Compatibility alias: the metrics registry now lives in ``repro.obs``.
 
-Every expensive stage of the experiment pipeline (workload execution,
-trace-cache loads and stores, table computation) records its wall time and
-event counts here, so speedups are *measured*, not asserted.  The CLI's
-``warm -v`` prints the report, and the benchmarks import :data:`METRICS`
-to surface cache behaviour across sessions.
-
-The design is deliberately tiny: a :class:`Metrics` object holds named
-stage timings (call count + total seconds) and named counters.  A single
-process-wide instance, :data:`METRICS`, is the default sink; components
-accept a ``metrics`` argument so tests can isolate their measurements.
+The pipeline instrumentation grew into the shared observability layer
+(:mod:`repro.obs.metrics`), which both the experiment pipeline and the
+simulation telemetry write into.  Importing from this module keeps every
+historical ``repro.analysis.metrics`` / ``repro.analysis.METRICS`` client
+working and, crucially, yields the *same* process-wide registry object.
 """
 
-from __future__ import annotations
-
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from repro.obs.metrics import METRICS, Metrics, StageTiming
 
 __all__ = ["Metrics", "StageTiming", "METRICS"]
-
-
-@dataclass
-class StageTiming:
-    """Aggregate wall time of one named pipeline stage."""
-
-    calls: int = 0
-    seconds: float = 0.0
-
-    @property
-    def mean(self) -> float:
-        """Mean seconds per call (0.0 before the first call)."""
-        return self.seconds / self.calls if self.calls else 0.0
-
-
-class Metrics:
-    """Named wall-time accumulators and event counters."""
-
-    def __init__(self) -> None:
-        self._timings: Dict[str, StageTiming] = {}
-        self._counters: Dict[str, int] = {}
-
-    # ------------------------------------------------------------------
-    # Recording
-    # ------------------------------------------------------------------
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time the enclosed block under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - start)
-
-    def add_time(self, name: str, seconds: float) -> None:
-        """Add one timed call of ``seconds`` to stage ``name``."""
-        timing = self._timings.setdefault(name, StageTiming())
-        timing.calls += 1
-        timing.seconds += seconds
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        self._counters[name] = self._counters.get(name, 0) + amount
-
-    # ------------------------------------------------------------------
-    # Reading
-    # ------------------------------------------------------------------
-
-    def timing(self, name: str) -> StageTiming:
-        """The timing for stage ``name`` (zeros if never recorded)."""
-        return self._timings.get(name, StageTiming())
-
-    def counter(self, name: str) -> int:
-        """The value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
-
-    @property
-    def timings(self) -> Dict[str, StageTiming]:
-        """Snapshot of all stage timings."""
-        return dict(self._timings)
-
-    @property
-    def counters(self) -> Dict[str, int]:
-        """Snapshot of all counters."""
-        return dict(self._counters)
-
-    def reset(self) -> None:
-        """Drop all recorded timings and counters."""
-        self._timings.clear()
-        self._counters.clear()
-
-    def report(self, title: Optional[str] = None) -> str:
-        """A human-readable summary of every timing and counter."""
-        lines = []
-        if title:
-            lines.append(title)
-        if self._timings:
-            width = max(len(name) for name in self._timings)
-            for name in sorted(self._timings):
-                timing = self._timings[name]
-                lines.append(
-                    f"  {name:<{width}}  {timing.seconds:8.3f}s"
-                    f"  ({timing.calls} calls, {timing.mean:.3f}s/call)"
-                )
-        if self._counters:
-            width = max(len(name) for name in self._counters)
-            for name in sorted(self._counters):
-                lines.append(f"  {name:<{width}}  {self._counters[name]}")
-        if len(lines) == (1 if title else 0):
-            lines.append("  (no measurements recorded)")
-        return "\n".join(lines)
-
-
-#: Process-wide default sink shared by the CLI, TraceStore, and benchmarks.
-METRICS = Metrics()

@@ -13,7 +13,7 @@ need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.alloc.arena import (
     DEFAULT_ARENA_SIZE,
@@ -33,6 +33,9 @@ from repro.alloc.costs import (
 from repro.alloc.firstfit import FirstFitAllocator
 from repro.core.predictor import LifetimePredictor
 from repro.runtime.events import Trace
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "SimulationResult",
@@ -84,12 +87,24 @@ class SimulationResult:
 
 
 def replay(trace: Trace, allocator: Allocator,
-           check_invariants: bool = False) -> None:
+           check_invariants: bool = False,
+           telemetry: Optional["Telemetry"] = None) -> None:
     """Drive ``allocator`` with the trace's event sequence.
 
     With ``check_invariants`` the allocator is audited after every 4096
     events — slow, used by the integration tests.
+
+    ``telemetry`` attaches a :class:`~repro.obs.telemetry.Telemetry`
+    recorder for the duration of the replay: the allocator reports every
+    operation through its probe and the recorder samples the heap gauges
+    every ``telemetry.interval`` allocations.  The replay loop itself is
+    untouched — with ``telemetry=None`` (the default) this function is
+    byte-for-byte the uninstrumented hot path.
     """
+    if telemetry is not None:
+        telemetry.attach(
+            allocator, program=trace.program, dataset=trace.dataset
+        )
     addresses = {}
     step = 0
     for code in trace.raw_arrays()["events"]:
@@ -108,14 +123,17 @@ def replay(trace: Trace, allocator: Allocator,
             allocator.check_invariants()
     if check_invariants:
         allocator.check_invariants()
+    if telemetry is not None:
+        telemetry.finish()
 
 
 def simulate_firstfit(
-    trace: Trace, model: CostModel = DEFAULT_COST_MODEL
+    trace: Trace, model: CostModel = DEFAULT_COST_MODEL,
+    telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the Knuth first-fit baseline."""
     allocator = FirstFitAllocator()
-    replay(trace, allocator)
+    replay(trace, allocator, telemetry=telemetry)
     return SimulationResult(
         allocator="first-fit",
         program=trace.program,
@@ -128,11 +146,12 @@ def simulate_firstfit(
 
 
 def simulate_bsd(
-    trace: Trace, model: CostModel = DEFAULT_COST_MODEL
+    trace: Trace, model: CostModel = DEFAULT_COST_MODEL,
+    telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the BSD power-of-two baseline."""
     allocator = BsdAllocator()
-    replay(trace, allocator)
+    replay(trace, allocator, telemetry=telemetry)
     return SimulationResult(
         allocator="bsd",
         program=trace.program,
@@ -151,6 +170,7 @@ def simulate_arena(
     arena_size: int = DEFAULT_ARENA_SIZE,
     strategy: str = "len4",
     model: CostModel = DEFAULT_COST_MODEL,
+    telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the lifetime-predicting arena allocator.
 
@@ -161,7 +181,7 @@ def simulate_arena(
     allocator = ArenaAllocator(
         predictor, num_arenas=num_arenas, arena_size=arena_size
     )
-    replay(trace, allocator)
+    replay(trace, allocator, telemetry=telemetry)
     cost = arena_cost(
         allocator.ops,
         allocator.general.ops,

@@ -10,21 +10,27 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc sites gawk-test.json.gz --top 10
     repro-alloc warm --jobs 4
     repro-alloc table all
+    repro-alloc stats --program gawk
+    repro-alloc timeline --program gawk --allocator arena
 
 ``trace`` runs a workload and stores its allocation trace; ``profile``
 trains a short-lived site database from a trace; ``predict`` scores a
 database against a trace (Table 4's columns); ``simulate`` replays a
 trace against an allocator; ``warm`` populates the persistent trace
 cache (optionally in parallel); ``table`` regenerates the paper's
-tables.
+tables; ``stats`` and ``timeline`` replay one workload with the
+telemetry recorder attached and report per-site mispredictions or the
+heap time series (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
+from pathlib import Path
 from typing import List, Optional
 
 from repro.alloc.base import AllocatorError
@@ -42,6 +48,15 @@ from repro.core.predictor import (
     train_site_predictor,
 )
 from repro.core.sites import FULL_CHAIN
+from repro.obs import (
+    DEFAULT_SAMPLE_INTERVAL,
+    Telemetry,
+    export_timeline,
+    render_stats,
+    render_timeline,
+    telemetry_summary,
+)
+from repro.obs.export import DEFAULT_TELEMETRY_DIR
 from repro.runtime.heap import HeapError
 from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
 from repro.workloads.registry import PROGRAM_ORDER, run_workload
@@ -110,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="number of arenas (default 16)")
     simulate.add_argument("--arena-size", type=int, default=4096,
                           help="bytes per arena (default 4096)")
+    simulate.add_argument("--telemetry-out", metavar="DIR", default=None,
+                          help="also record heap telemetry during the "
+                               "replay and export the time series here")
+    simulate.add_argument("--interval", type=int,
+                          default=DEFAULT_SAMPLE_INTERVAL,
+                          help="telemetry sample interval in allocations "
+                               f"(default {DEFAULT_SAMPLE_INTERVAL})")
     simulate.set_defaults(handler=_cmd_simulate)
 
     quantiles = sub.add_parser(
@@ -144,32 +166,80 @@ def _build_parser() -> argparse.ArgumentParser:
     warm = sub.add_parser(
         "warm", help="populate the persistent trace cache"
     )
-    warm.add_argument("--scale", type=float, default=1.0,
-                      help="workload scale factor (default 1.0)")
-    _add_cache_options(warm)
+    _add_store_options(warm, jobs=True)
     warm.add_argument("-v", "--verbose", action="store_true",
                       help="print per-stage wall times and cache counters")
+    warm.add_argument("--metrics-json", metavar="PATH", default=None,
+                      help="write the session's pipeline metrics "
+                           "(timings + counters) to PATH as JSON")
     warm.set_defaults(handler=_cmd_warm)
 
     table = sub.add_parser("table", help="regenerate the paper's tables")
     table.add_argument("which", help="table number 1-9, or 'all'")
-    table.add_argument("--scale", type=float, default=1.0,
-                       help="workload scale factor (default 1.0)")
-    _add_cache_options(table)
+    _add_store_options(table, jobs=True)
     table.set_defaults(handler=_cmd_table)
+
+    stats = sub.add_parser(
+        "stats", help="per-site misprediction accounting for one workload"
+    )
+    _add_telemetry_options(stats)
+    stats.add_argument("--top", type=int, default=15,
+                       help="how many sites to list (default 15)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the machine-readable summary instead "
+                            "of the table")
+    stats.set_defaults(handler=_cmd_stats)
+
+    timeline = sub.add_parser(
+        "timeline", help="heap telemetry time series for one workload"
+    )
+    _add_telemetry_options(timeline)
+    timeline.add_argument("--out-dir", metavar="DIR",
+                          default=str(DEFAULT_TELEMETRY_DIR),
+                          help="where to write the JSONL/CSV/JSON series "
+                               f"(default {DEFAULT_TELEMETRY_DIR})")
+    timeline.set_defaults(handler=_cmd_timeline)
 
     return parser
 
 
-def _add_cache_options(sub: argparse.ArgumentParser) -> None:
-    """The trace-cache/parallelism flags shared by ``warm`` and ``table``."""
-    sub.add_argument("--jobs", type=int, default=1, metavar="N",
-                     help="worker processes (default 1: serial)")
+def _add_store_options(
+    sub: argparse.ArgumentParser, jobs: bool = False
+) -> None:
+    """The trace-store flags every store-backed subcommand shares.
+
+    ``warm``/``table`` fan work out across processes and also take
+    ``--jobs``; ``stats``/``timeline`` replay a single execution and
+    only need the scale and cache knobs.
+    """
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="workload scale factor (default 1.0)")
     sub.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="trace cache directory (default $REPRO_CACHE_DIR "
                           "or ~/.cache/repro-alloc)")
     sub.add_argument("--no-cache", action="store_true",
                      help="bypass the persistent trace cache")
+    if jobs:
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1: serial)")
+
+
+def _add_telemetry_options(sub: argparse.ArgumentParser) -> None:
+    """The replay-selection flags shared by ``stats`` and ``timeline``."""
+    sub.add_argument("--program", required=True, choices=PROGRAM_ORDER,
+                     help="workload to replay")
+    sub.add_argument("--dataset", default="test",
+                     help="dataset to replay (default test)")
+    sub.add_argument("--allocator", default="arena",
+                     choices=["arena", "firstfit", "bsd"])
+    sub.add_argument("--sites", default=None,
+                     help="site database for the arena allocator (default: "
+                          "train on the program's train dataset)")
+    sub.add_argument("--interval", type=int,
+                     default=DEFAULT_SAMPLE_INTERVAL,
+                     help="sample interval in allocations "
+                          f"(default {DEFAULT_SAMPLE_INTERVAL})")
+    _add_store_options(sub)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -217,10 +287,14 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
+    telemetry = (
+        Telemetry(interval=args.interval)
+        if args.telemetry_out is not None else None
+    )
     if args.allocator == "firstfit":
-        result = simulate_firstfit(trace)
+        result = simulate_firstfit(trace, telemetry=telemetry)
     elif args.allocator == "bsd":
-        result = simulate_bsd(trace)
+        result = simulate_bsd(trace, telemetry=telemetry)
     else:
         if not args.sites:
             raise ValueError("the arena allocator needs --sites")
@@ -228,6 +302,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = simulate_arena(
             trace, predictor,
             num_arenas=args.arenas, arena_size=args.arena_size,
+            telemetry=telemetry,
         )
     print(f"allocator:      {result.allocator}")
     print(f"max heap size:  {result.max_heap_size} bytes")
@@ -236,6 +311,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if result.allocator.startswith("arena"):
         print(f"arena allocs:   {result.arena_alloc_pct:.1f}%")
         print(f"arena bytes:    {result.arena_byte_pct:.1f}%")
+    if telemetry is not None:
+        # The export notice goes to stderr so the measurement summary on
+        # stdout is byte-identical with and without telemetry.
+        paths = export_timeline(telemetry, Path(args.telemetry_out))
+        for path in paths.values():
+            print(f"telemetry: {path}", file=sys.stderr)
     return 0
 
 
@@ -300,6 +381,62 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     if args.verbose:
         print()
         print(METRICS.report("pipeline metrics:"))
+        print()
+        print(METRICS.to_json())
+    if args.metrics_json:
+        path = Path(args.metrics_json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(METRICS.to_json() + "\n", encoding="utf-8")
+        print(f"metrics -> {path}", file=sys.stderr)
+    return 0
+
+
+def _replay_with_telemetry(args: argparse.Namespace) -> Telemetry:
+    """Shared body of ``stats`` and ``timeline``: one instrumented replay.
+
+    The trace comes through the same :class:`TraceStore` the tables use
+    (so warmed caches are reused); the arena predictor defaults to true
+    prediction — trained on the program's ``train`` execution — unless a
+    saved site database is supplied.
+    """
+    store = _make_store(args)
+    trace = store.trace(args.program, args.dataset)
+    telemetry = Telemetry(interval=args.interval)
+    if args.allocator == "firstfit":
+        simulate_firstfit(trace, telemetry=telemetry)
+    elif args.allocator == "bsd":
+        simulate_bsd(trace, telemetry=telemetry)
+    else:
+        if args.sites:
+            predictor = load_predictor(args.sites)
+        else:
+            predictor = store.predictor(args.program)
+        simulate_arena(trace, predictor, telemetry=telemetry)
+    if not telemetry.samples:
+        raise ValueError(
+            f"telemetry recorded zero samples for "
+            f"{args.program}/{args.dataset} — empty trace?"
+        )
+    return telemetry
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    telemetry = _replay_with_telemetry(args)
+    if args.json:
+        print(json.dumps(telemetry_summary(telemetry, top=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_stats(telemetry, top=args.top))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    telemetry = _replay_with_telemetry(args)
+    print(render_timeline(telemetry))
+    paths = export_timeline(telemetry, Path(args.out_dir))
+    for kind in sorted(paths):
+        print(f"{kind:<8} -> {paths[kind]}")
     return 0
 
 
@@ -340,3 +477,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             print(render(compute(store)))
             print()
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro-alloc
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Observability layer: metrics registry, heap telemetry, exporters.
+
+``repro.obs`` is the cross-cutting instrumentation subsystem.  It has two
+halves that share one counter backend:
+
+* :mod:`repro.obs.metrics` — the named wall-time/counter registry
+  (:class:`Metrics`, process-wide :data:`METRICS`) used by the experiment
+  pipeline (trace cache, warm, table rendering) *and* by simulation
+  telemetry, so one report covers both.
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` recorder that rides
+  along a trace replay through the probe interface on
+  :class:`~repro.alloc.base.Allocator`, producing time-series heap
+  samples and per-site misprediction counters.
+
+:mod:`repro.obs.export` writes JSONL/JSON/CSV artifacts and
+:mod:`repro.obs.report` renders the ``stats`` / ``timeline`` CLI views.
+"""
+
+from repro.obs.metrics import METRICS, Metrics, StageTiming
+from repro.obs.telemetry import (
+    DEFAULT_SAMPLE_INTERVAL,
+    MISPREDICTION_KINDS,
+    NullTelemetry,
+    SiteCounters,
+    Telemetry,
+)
+from repro.obs.export import export_timeline, telemetry_summary, write_jsonl
+from repro.obs.report import render_stats, render_timeline, sparkline
+
+__all__ = [
+    "METRICS",
+    "Metrics",
+    "StageTiming",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "MISPREDICTION_KINDS",
+    "NullTelemetry",
+    "SiteCounters",
+    "Telemetry",
+    "export_timeline",
+    "telemetry_summary",
+    "write_jsonl",
+    "render_stats",
+    "render_timeline",
+    "sparkline",
+]

@@ -1,0 +1,124 @@
+"""Telemetry artifact writers: JSONL samples, JSON summary, CSV.
+
+Everything written here is deterministic: keys are sorted, floats are
+rounded where they are produced (see :mod:`repro.obs.telemetry`), and no
+wall-clock timestamps are embedded — the same trace replayed at the same
+sample interval yields byte-identical files, which the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.telemetry import MISPREDICTION_KINDS, Telemetry
+
+__all__ = [
+    "DEFAULT_TELEMETRY_DIR",
+    "export_timeline",
+    "telemetry_summary",
+    "write_csv",
+    "write_jsonl",
+]
+
+#: Where the CLI drops timeline artifacts unless told otherwise.
+DEFAULT_TELEMETRY_DIR = Path("results") / "telemetry"
+
+
+def write_jsonl(rows: Iterable[Dict[str, Any]],
+                path: Union[str, Path]) -> Path:
+    """Write one JSON object per line (sorted keys, '\\n' endings)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def write_csv(rows: List[Dict[str, Any]], path: Union[str, Path]) -> Path:
+    """Write samples as CSV over the union of keys (missing cells empty)."""
+    path = Path(path)
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    columns.sort()
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(
+                ",".join(_csv_cell(row.get(col)) for col in columns) + "\n"
+            )
+    return path
+
+
+def _csv_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def telemetry_summary(telemetry: Telemetry, top: int = 20) -> Dict[str, Any]:
+    """A JSON-serializable summary of one recorded replay."""
+    return {
+        "program": telemetry.program,
+        "dataset": telemetry.dataset,
+        "allocator": telemetry.allocator_name,
+        "interval": telemetry.interval,
+        "threshold": telemetry.threshold,
+        "sample_count": len(telemetry.samples),
+        "totals": telemetry.totals(),
+        "top_misprediction_sites": [
+            {
+                "chain": list(chain),
+                "allocs": site.allocs,
+                "bytes": site.bytes,
+                "arena_allocs": site.arena_allocs,
+                **{kind: getattr(site, kind) for kind in MISPREDICTION_KINDS},
+            }
+            for chain, site in telemetry.top_sites(top)
+        ],
+        "final_sample": telemetry.samples[-1] if telemetry.samples else None,
+    }
+
+
+def export_timeline(
+    telemetry: Telemetry,
+    out_dir: Union[str, Path] = DEFAULT_TELEMETRY_DIR,
+    basename: Optional[str] = None,
+    top: int = 20,
+) -> Dict[str, Path]:
+    """Write the samples (JSONL + CSV) and summary (JSON) under ``out_dir``.
+
+    Returns ``{"samples": ..., "csv": ..., "summary": ...}`` paths.  The
+    basename defaults to ``<program>-<dataset>-<allocator>`` with spaces
+    and slashes flattened.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if basename is None:
+        raw = f"{telemetry.program}-{telemetry.dataset}-{telemetry.allocator_name}"
+        basename = "".join(
+            ch if ch.isalnum() or ch in "-._" else "_" for ch in raw
+        )
+    paths = {
+        "samples": write_jsonl(
+            telemetry.samples, out_dir / f"{basename}.samples.jsonl"
+        ),
+        "csv": write_csv(telemetry.samples, out_dir / f"{basename}.csv"),
+    }
+    summary_path = out_dir / f"{basename}.summary.json"
+    with open(summary_path, "w", encoding="utf-8", newline="\n") as handle:
+        json.dump(telemetry_summary(telemetry, top=top), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+    paths["summary"] = summary_path
+    return paths

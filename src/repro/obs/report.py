@@ -1,0 +1,149 @@
+"""Terminal rendering for the ``stats`` and ``timeline`` subcommands.
+
+Pure formatting over a finished :class:`~repro.obs.telemetry.Telemetry`:
+an ASCII/Unicode sparkline per gauge for ``timeline``, and a per-site
+misprediction table for ``stats``.  No I/O happens here, so the renderers
+are trivially testable and the CLI stays a thin shell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["sparkline", "render_stats", "render_timeline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A fixed-width sparkline; values are bucket-averaged down to width.
+
+    A flat series renders at the lowest level so that changes, not
+    absolute magnitudes, stand out.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        values = _bucket_means(values, width)
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - lo) / span * top)] for v in values
+    )
+
+
+def _bucket_means(values: Sequence[float], width: int) -> List[float]:
+    out = []
+    n = len(values)
+    for i in range(width):
+        start = i * n // width
+        stop = max(start + 1, (i + 1) * n // width)
+        chunk = values[start:stop]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def _chain_label(chain, depth: int = 4) -> str:
+    tail = chain[-depth:]
+    label = ">".join(tail)
+    return ("…" + label) if len(chain) > depth else label
+
+
+def render_timeline(telemetry: Telemetry, width: int = 60) -> str:
+    """Sparkline view of the recorded gauges with min/max annotations."""
+    header = (
+        f"timeline: {telemetry.program}/{telemetry.dataset}"
+        f" · {telemetry.allocator_name}"
+        f" · {len(telemetry.samples)} samples"
+        f" (every {telemetry.interval} allocs)"
+    )
+    lines = [header]
+    gauges = [
+        ("heap_size", "heap size (bytes)"),
+        ("live_bytes", "live bytes"),
+        ("free_blocks", "free-list length"),
+        ("external_frag", "external frag"),
+        ("internal_frag", "internal frag"),
+        ("search_depth", "search depth"),
+        ("capture_rate", "capture rate"),
+        ("arena_occupancy", "arena occupancy"),
+        ("mispredictions", "mispredictions"),
+    ]
+    label_width = max(len(label) for _, label in gauges)
+    for key, label in gauges:
+        series = telemetry.series(key)
+        if not series or all(v == 0 for v in series):
+            continue
+        lines.append(
+            f"  {label:<{label_width}} {sparkline(series, width)} "
+            f"[{_fmt(min(series))} .. {_fmt(max(series))}]"
+        )
+    if len(lines) == 1:
+        lines.append("  (no samples recorded)")
+    return "\n".join(lines)
+
+
+def render_stats(telemetry: Telemetry, top: int = 10) -> str:
+    """Per-allocator totals and the top-K misprediction sites."""
+    totals = telemetry.totals()
+    lines = [
+        f"stats: {telemetry.program}/{telemetry.dataset}"
+        f" · {telemetry.allocator_name}"
+        f" · threshold {telemetry.threshold} bytes",
+        f"  allocs {totals['allocs']:,} · frees {totals['frees']:,}"
+        f" · bytes {totals['bytes']:,} · sites {totals['sites']:,}"
+        f" · samples {len(telemetry.samples)}",
+    ]
+    placements = [
+        ("arena", "arena"),
+        ("overflow", "overflow->general"),
+        ("general", "predicted-long"),
+        ("unpredicted", "unpredicted"),
+    ]
+    placed = [
+        f"{label} {totals[f'{key}_allocs']:,}"
+        f" ({_pct(totals[f'{key}_bytes'], totals['bytes'])} of bytes)"
+        for key, label in placements
+        if totals[f"{key}_allocs"]
+    ]
+    if placed:
+        lines.append("  placement: " + " · ".join(placed))
+    lines.append(
+        "  mispredictions:"
+        f" late-free {totals['late_free']:,}"
+        f" · overflow {totals['overflow']:,}"
+        f" · missed-short {totals['missed_short']:,}"
+    )
+    ranked = telemetry.top_sites(top)
+    if ranked:
+        lines.append(f"  top {len(ranked)} misprediction sites:")
+        lines.append(
+            "    late-free  overflow  missed-short  allocs  site"
+        )
+        for chain, site in ranked:
+            lines.append(
+                f"    {site.late_free:>9,}  {site.overflow:>8,}"
+                f"  {site.missed_short:>12,}  {site.allocs:>6,}"
+                f"  {_chain_label(chain)}"
+            )
+    else:
+        lines.append("  no mispredictions recorded")
+    return "\n".join(lines)
+
+
+def _pct(numerator: int, denominator: int) -> str:
+    if denominator == 0:
+        return "0.0%"
+    return f"{100.0 * numerator / denominator:.1f}%"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -124,6 +126,105 @@ class TestWarmCommand:
         out = capsys.readouterr().out
         assert "10 run" in out
         assert "(no cache)" in out
+
+    def test_metrics_json_written(self, tmp_path, capsys):
+        # METRICS is process-wide and other tests in this process also
+        # warm stores, so assert on the delta, not absolute counts.
+        from repro.analysis.metrics import METRICS
+
+        before_runs = METRICS.timing("workload.run").calls
+        before_warm = METRICS.counter("warm.run")
+        path = tmp_path / "out" / "metrics.json"
+        assert main([
+            "warm", "--scale", "0.02",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-json", str(path),
+        ]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(path.read_text())
+        assert (
+            snapshot["timings"]["workload.run"]["calls"] == before_runs + 10
+        )
+        assert snapshot["counters"]["warm.run"] == before_warm + 10
+
+
+class TestTelemetryCommands:
+    def test_timeline_writes_series(self, tmp_path, capsys):
+        out_dir = tmp_path / "telemetry"
+        assert main([
+            "timeline", "--program", "gawk", "--allocator", "arena",
+            "--scale", "0.05", "--cache-dir", str(tmp_path / "cache"),
+            "--interval", "256", "--out-dir", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "timeline: gawk/test" in out
+        assert "heap size" in out
+        assert "capture rate" in out
+
+        samples = out_dir / "gawk-test-arena.samples.jsonl"
+        rows = [json.loads(line) for line in
+                samples.read_text().splitlines()]
+        assert rows, "timeline must record at least one sample"
+        final = rows[-1]
+        for key in ("heap_size", "external_frag", "internal_frag",
+                    "free_blocks", "capture_rate", "search_depth"):
+            assert key in final
+        summary = json.loads(
+            (out_dir / "gawk-test-arena.summary.json").read_text()
+        )
+        assert summary["sample_count"] == len(rows)
+        assert (out_dir / "gawk-test-arena.csv").exists()
+
+    def test_timeline_baseline_allocator(self, tmp_path, capsys):
+        assert main([
+            "timeline", "--program", "gawk", "--allocator", "firstfit",
+            "--scale", "0.05", "--cache-dir", str(tmp_path / "cache"),
+            "--out-dir", str(tmp_path / "telemetry"),
+        ]) == 0
+        assert "firstfit" not in capsys.readouterr().err
+
+    def test_stats_lists_misprediction_sites(self, tmp_path, capsys):
+        assert main([
+            "stats", "--program", "gawk", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"), "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stats: gawk/test" in out
+        assert "mispredictions:" in out
+        assert "placement:" in out
+
+    def test_stats_json_summary(self, tmp_path, capsys):
+        assert main([
+            "stats", "--program", "gawk", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"), "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["program"] == "gawk"
+        assert summary["totals"]["allocs"] > 0
+        assert "top_misprediction_sites" in summary
+
+    def test_simulate_stdout_unchanged_by_telemetry(self, tmp_path, capsys):
+        trace = tmp_path / "gawk.json.gz"
+        sites = tmp_path / "gawk.sites"
+        main(["trace", "gawk", "tiny", "-o", str(trace)])
+        main(["profile", str(trace), "-o", str(sites)])
+        capsys.readouterr()
+
+        assert main(["simulate", str(trace), "--sites", str(sites)]) == 0
+        bare = capsys.readouterr()
+        assert main([
+            "simulate", str(trace), "--sites", str(sites),
+            "--telemetry-out", str(tmp_path / "telemetry"),
+        ]) == 0
+        probed = capsys.readouterr()
+        assert probed.out == bare.out
+        assert "telemetry:" in probed.err
+        assert (tmp_path / "telemetry").is_dir()
+        assert any((tmp_path / "telemetry").iterdir())
+
+    def test_timeline_requires_program(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["timeline"])
 
 
 class TestTableCommand:

@@ -175,6 +175,27 @@ class TestWarm:
         for program, dataset in store.warm_pairs():
             assert store.cache.has(program, dataset, 0.02)
 
+    def test_parallel_warm_merges_worker_metrics(self, tmp_path):
+        # Regression: process-pool workers used to record their cache and
+        # workload timings into their own registry and throw it away on
+        # exit, so a parallel warm reported zero workload runs.
+        metrics = Metrics()
+        store = TraceStore(
+            scale=0.02, cache_dir=str(tmp_path), metrics=metrics
+        )
+        store.warm(jobs=2)
+        assert metrics.timing("workload.run").calls == 10
+        assert metrics.counter("trace_cache.store") == 10
+        assert metrics.counter("warm.run") == 10
+
+        again = Metrics()
+        fresh = TraceStore(
+            scale=0.02, cache_dir=str(tmp_path), metrics=again
+        )
+        fresh.warm(jobs=2)
+        assert again.timing("workload.run").calls == 0
+        assert again.counter("trace_cache.hit") == 10
+
     def test_parallel_warm_without_cache_falls_back_to_serial(self):
         no_cache = TraceStore(scale=0.02, use_cache=False)
         results = no_cache.warm(jobs=4)
@@ -212,3 +233,41 @@ class TestMetrics:
         metrics.reset()
         assert metrics.counter("x") == 0
         assert "(no measurements recorded)" in metrics.report()
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        metrics = Metrics()
+        metrics.add_time("warm", 0.5)
+        metrics.add_time("warm", 0.25)
+        metrics.incr("hits", 3)
+        snapshot = json.loads(metrics.to_json())
+        assert snapshot == metrics.to_dict()
+        assert snapshot["timings"]["warm"] == {"calls": 2, "seconds": 0.75}
+        assert snapshot["counters"]["hits"] == 3
+
+    def test_merge_adds_timings_and_counters(self):
+        parent = Metrics()
+        parent.add_time("warm", 1.0)
+        parent.incr("hits", 1)
+        child = Metrics()
+        child.add_time("warm", 0.5)
+        child.add_time("load", 0.1)
+        child.incr("hits", 2)
+        child.incr("misses")
+
+        parent.merge(child)
+        assert parent.timing("warm").calls == 2
+        assert parent.timing("warm").seconds == pytest.approx(1.5)
+        assert parent.timing("load").calls == 1
+        assert parent.counter("hits") == 3
+        assert parent.counter("misses") == 1
+
+    def test_merge_accepts_to_dict_snapshots(self):
+        child = Metrics()
+        child.add_time("stage", 0.2)
+        child.incr("events", 5)
+        parent = Metrics()
+        parent.merge(child.to_dict())
+        assert parent.timing("stage").calls == 1
+        assert parent.counter("events") == 5
