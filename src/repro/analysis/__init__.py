@@ -6,7 +6,7 @@ from repro.analysis.experiments import (
     TraceStore,
     WarmResult,
 )
-from repro.analysis.metrics import METRICS, Metrics
+from repro.obs.metrics import METRICS, Metrics
 from repro.analysis.trace_cache import TraceCache, default_cache_dir
 from repro.analysis.locality import (
     LocalityResult,

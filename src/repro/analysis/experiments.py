@@ -33,7 +33,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.analysis.metrics import METRICS, Metrics
+from repro.obs.metrics import METRICS, Metrics
+from repro.obs.spans import TRACER
 from repro.analysis.trace_cache import TraceCache, cache_disabled_by_env
 from repro.core.cce import CCEPredictor, train_cce_predictor
 from repro.core.predictor import (
@@ -147,7 +148,10 @@ class TraceStore:
             if self._cache is not None:
                 trace = self._cache.load(program, dataset, self.scale)
             if trace is None:
-                with self._metrics.stage("workload.run"):
+                with TRACER.span("workload.run", cat="workload",
+                                 program=program, dataset=dataset,
+                                 scale=self.scale), \
+                        self._metrics.stage("workload.run"):
                     trace = run_workload(program, dataset, scale=self.scale)
                 if self._cache is not None:
                     self._cache.store(trace, self.scale)
@@ -165,12 +169,15 @@ class TraceStore:
         """A (cached) site predictor trained on one execution."""
         key = (program, train_dataset, threshold, chain_length, size_rounding)
         if key not in self._site_predictors:
-            self._site_predictors[key] = train_site_predictor(
-                self.trace(program, train_dataset),
-                threshold=threshold,
-                chain_length=chain_length,
-                size_rounding=size_rounding,
-            )
+            trace = self.trace(program, train_dataset)
+            with TRACER.span("predictor.train", cat="core",
+                             program=program, dataset=train_dataset):
+                self._site_predictors[key] = train_site_predictor(
+                    trace,
+                    threshold=threshold,
+                    chain_length=chain_length,
+                    size_rounding=size_rounding,
+                )
         return self._site_predictors[key]
 
     def cce_predictor(
@@ -216,7 +223,8 @@ class TraceStore:
         """
         pairs = self.warm_pairs()
         results: List[WarmResult] = []
-        with self._metrics.stage("warm"):
+        with TRACER.span("warm", cat="pipeline", scale=self.scale), \
+                self._metrics.stage("warm"):
             if jobs and jobs > 1 and self._cache is not None:
                 self._cache.directory.mkdir(parents=True, exist_ok=True)
                 with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -1,10 +1,14 @@
-"""Compatibility alias: the metrics registry now lives in ``repro.obs``.
+"""DEPRECATED compatibility alias: use :mod:`repro.obs.metrics` instead.
 
 The pipeline instrumentation grew into the shared observability layer
 (:mod:`repro.obs.metrics`), which both the experiment pipeline and the
-simulation telemetry write into.  Importing from this module keeps every
-historical ``repro.analysis.metrics`` / ``repro.analysis.METRICS`` client
-working and, crucially, yields the *same* process-wide registry object.
+simulation telemetry write into.  Every internal import has been migrated
+to ``repro.obs.metrics``; this shim remains only so historical external
+``repro.analysis.metrics`` / ``repro.analysis.METRICS`` clients keep
+working and, crucially, keep receiving the *same* process-wide registry
+object.  It will be removed in a future major version — import
+:data:`~repro.obs.metrics.METRICS` from :mod:`repro.obs.metrics` (or the
+:mod:`repro.obs` package) in new code.
 """
 
 from repro.obs.metrics import METRICS, Metrics, StageTiming

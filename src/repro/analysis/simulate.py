@@ -32,6 +32,7 @@ from repro.alloc.costs import (
 )
 from repro.alloc.firstfit import FirstFitAllocator
 from repro.core.predictor import LifetimePredictor
+from repro.obs.spans import TRACER
 from repro.runtime.events import Trace
 
 if TYPE_CHECKING:
@@ -105,24 +106,27 @@ def replay(trace: Trace, allocator: Allocator,
         telemetry.attach(
             allocator, program=trace.program, dataset=trace.dataset
         )
-    addresses = {}
-    step = 0
-    for code in trace.raw_arrays()["events"]:
-        tag = code & 3
-        if tag == 2:  # touch events carry no allocator work
-            continue
-        obj_id = code >> 2
-        if tag == 1:
-            allocator.free(addresses.pop(obj_id))
-        else:
-            addresses[obj_id] = allocator.malloc(
-                trace.size_of(obj_id), trace.chain_of(obj_id)
-            )
-        step += 1
-        if check_invariants and step % 4096 == 0:
+    with TRACER.span("simulate.replay", cat="simulate",
+                     allocator=allocator.name, program=trace.program,
+                     dataset=trace.dataset):
+        addresses = {}
+        step = 0
+        for code in trace.raw_arrays()["events"]:
+            tag = code & 3
+            if tag == 2:  # touch events carry no allocator work
+                continue
+            obj_id = code >> 2
+            if tag == 1:
+                allocator.free(addresses.pop(obj_id))
+            else:
+                addresses[obj_id] = allocator.malloc(
+                    trace.size_of(obj_id), trace.chain_of(obj_id)
+                )
+            step += 1
+            if check_invariants and step % 4096 == 0:
+                allocator.check_invariants()
+        if check_invariants:
             allocator.check_invariants()
-    if check_invariants:
-        allocator.check_invariants()
     if telemetry is not None:
         telemetry.finish()
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.alloc.costs import DEFAULT_COST_MODEL, execution_instructions
+from repro.obs.spans import traced
 from repro.core.predictor import (
     DEFAULT_THRESHOLD,
     TRUE_PREDICTION_ROUNDING,
@@ -63,6 +64,7 @@ class Table1Row:
     input_relation: str
 
 
+@traced("table.table1", cat="table")
 def table1(store: TraceStore) -> List[Table1Row]:
     """Descriptive information about the programs and their datasets."""
     from repro.workloads.registry import get_workload
@@ -103,6 +105,7 @@ class Table2Row:
     heap_ref_pct: float
 
 
+@traced("table.table2", cat="table")
 def table2(store: TraceStore) -> List[Table2Row]:
     """Execution behaviour of each program on the evaluation input."""
     rows = []
@@ -146,6 +149,7 @@ class Table3Row:
     p2_quantiles: Tuple[float, float, float, float, float]
 
 
+@traced("table.table3", cat="table")
 def table3(store: TraceStore) -> List[Table3Row]:
     """Lifetime quartiles for each program."""
     rows = []
@@ -205,6 +209,7 @@ class Table4Row:
     true_error_pct: float
 
 
+@traced("table.table4", cat="table")
 def table4(
     store: TraceStore, threshold: int = DEFAULT_THRESHOLD
 ) -> List[Table4Row]:
@@ -248,6 +253,7 @@ class Table5Row:
     sizes_used: int
 
 
+@traced("table.table5", cat="table")
 def table5(
     store: TraceStore, threshold: int = DEFAULT_THRESHOLD
 ) -> List[Table5Row]:
@@ -298,6 +304,7 @@ class Table6Row:
         return best_length
 
 
+@traced("table.table6", cat="table")
 def table6(
     store: TraceStore, threshold: int = DEFAULT_THRESHOLD
 ) -> List[Table6Row]:
@@ -339,6 +346,7 @@ class Table7Row:
         return 100.0 - self.arena_byte_pct
 
 
+@traced("table.table7", cat="table")
 def table7(store: TraceStore) -> List[Table7Row]:
     """Arena capture fractions, simulating true prediction."""
     rows = []
@@ -380,6 +388,7 @@ class Table8Row:
         return 100.0 * self.true_arena_heap / self.firstfit_heap
 
 
+@traced("table.table8", cat="table")
 def table8(store: TraceStore) -> List[Table8Row]:
     """Maximum heap sizes under first-fit and arena allocation."""
     rows = []
@@ -419,6 +428,7 @@ class Table9Row:
         return pair[0] + pair[1]
 
 
+@traced("table.table9", cat="table")
 def table9(store: TraceStore) -> List[Table9Row]:
     """Average instruction costs, true prediction for the arena rows."""
     rows = []

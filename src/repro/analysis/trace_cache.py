@@ -35,7 +35,8 @@ import os
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.analysis.metrics import METRICS, Metrics
+from repro.obs.metrics import METRICS, Metrics
+from repro.obs.spans import TRACER
 from repro.runtime import tracefile
 from repro.runtime.events import Trace
 from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
@@ -102,7 +103,7 @@ class TraceCache:
     ``load`` returns ``None`` on any miss — absent entry, wrong version,
     or a corrupt/truncated file — so callers follow one code path:
     load, or run-and-store.  Hit/miss counts go to ``metrics`` (the
-    process-wide :data:`~repro.analysis.metrics.METRICS` by default)
+    process-wide :data:`~repro.obs.metrics.METRICS` by default)
     under ``trace_cache.hit`` / ``trace_cache.miss`` /
     ``trace_cache.store``.
     """
@@ -135,7 +136,9 @@ class TraceCache:
         """
         path = self.entry_path(program, dataset, scale)
         try:
-            with self.metrics.stage("trace_cache.load"):
+            with TRACER.span("trace_cache.load", cat="cache",
+                             program=program, dataset=dataset), \
+                    self.metrics.stage("trace_cache.load"):
                 trace = load_trace(path)
         except FileNotFoundError:
             self.metrics.incr("trace_cache.miss")
@@ -156,7 +159,9 @@ class TraceCache:
         """Write ``trace`` to its cache entry (atomic) and return the path."""
         path = self.entry_path(trace.program, trace.dataset, scale)
         self.directory.mkdir(parents=True, exist_ok=True)
-        with self.metrics.stage("trace_cache.store"):
+        with TRACER.span("trace_cache.store", cat="cache",
+                         program=trace.program, dataset=trace.dataset), \
+                self.metrics.stage("trace_cache.store"):
             save_trace(trace, path)
         self.metrics.incr("trace_cache.store")
         return path

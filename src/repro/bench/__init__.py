@@ -1,0 +1,62 @@
+"""Benchmark trajectory: recorded perf history and the regression gate.
+
+``repro.bench`` turns ad-hoc timings into a recorded, comparable history:
+
+* :mod:`repro.bench.suite` runs the benchmark suite (timed,
+  telemetry-instrumented allocator replays over the shared trace store);
+* :mod:`repro.bench.record` defines the schema-versioned per-benchmark
+  records and sessions;
+* :mod:`repro.bench.store` appends sessions to the ``BENCH_<seq>.json``
+  trajectory (default ``results/bench``);
+* :mod:`repro.bench.compare` gates a new session against an old one with
+  noise-aware thresholds;
+* :mod:`repro.bench.provenance` stamps every artifact with git SHA,
+  scale, python version, and schema version.
+
+Surfaced as ``repro-alloc bench run / compare / history`` and wired into
+the benchmark pytest session (``REPRO_BENCH_RECORD=1``) and CI.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_WALL_FLOOR,
+    DEFAULT_WALL_TOLERANCE,
+    CompareResult,
+    Delta,
+    compare_sessions,
+    render_compare,
+)
+from repro.bench.provenance import (
+    BENCH_SCHEMA_VERSION,
+    collect_provenance,
+    git_sha,
+)
+from repro.bench.record import TIMING_FIELDS, BenchRecord, BenchSession
+from repro.bench.store import BENCH_DIR_ENV, BenchStore, default_bench_dir
+from repro.bench.suite import (
+    BENCH_ALLOCATORS,
+    DEFAULT_REPEATS,
+    run_session,
+    run_suite,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_ALLOCATORS",
+    "BENCH_DIR_ENV",
+    "DEFAULT_REPEATS",
+    "DEFAULT_WALL_FLOOR",
+    "DEFAULT_WALL_TOLERANCE",
+    "TIMING_FIELDS",
+    "BenchRecord",
+    "BenchSession",
+    "BenchStore",
+    "CompareResult",
+    "Delta",
+    "collect_provenance",
+    "compare_sessions",
+    "default_bench_dir",
+    "git_sha",
+    "render_compare",
+    "run_session",
+    "run_suite",
+]

@@ -1,0 +1,227 @@
+"""Noise-aware comparison of two benchmark sessions — the regression gate.
+
+Two kinds of metric get two kinds of threshold:
+
+* **wall time** is noisy even as a min-of-k, so it is held to a relative
+  tolerance (default ``0.5`` = 50% slower fails) with an absolute floor —
+  replays finishing in a few milliseconds are all noise and are never
+  gated on time;
+* **deterministic metrics** (simulated instruction costs, capture rates,
+  heap size, misprediction totals) are exactly reproducible from the same
+  traces, so *any* move in the bad direction is a regression: costs,
+  heap size, and mispredictions must not rise; capture rates must not
+  fall; event counts must not change at all.
+
+Sessions must agree on schema version and workload scale — comparing a
+``0.05``-scale run against a full-scale baseline is a category error the
+comparator refuses rather than mis-reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bench.record import BenchRecord, BenchSession
+
+__all__ = [
+    "DEFAULT_WALL_TOLERANCE",
+    "DEFAULT_WALL_FLOOR",
+    "Delta",
+    "CompareResult",
+    "compare_sessions",
+    "render_compare",
+]
+
+#: Default relative wall-time tolerance (0.5 = new may be up to 50%
+#: slower before it counts as a regression).
+DEFAULT_WALL_TOLERANCE = 0.5
+
+#: Wall times where both sides are under this many seconds are never
+#: compared — at that duration the measurement is all scheduler noise.
+DEFAULT_WALL_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's movement between the old and new session."""
+
+    benchmark: str
+    metric: str
+    old: float
+    new: float
+    limit_pct: Optional[float] = None  # None: zero-tolerance metric
+
+    @property
+    def change_pct(self) -> float:
+        """Relative change in percent (new vs old)."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+# One row per gated metric: (name, getter, direction).  Direction is the
+# *good* direction — "lower" flags increases, "higher" flags decreases,
+# "equal" flags any change.
+_DETERMINISTIC_METRICS: List[tuple] = [
+    ("allocs", lambda r: r.allocs, "equal"),
+    ("frees", lambda r: r.frees, "equal"),
+    ("instr_per_alloc", lambda r: r.instr_per_alloc, "lower"),
+    ("instr_per_free", lambda r: r.instr_per_free, "lower"),
+    ("max_heap_size", lambda r: r.max_heap_size, "lower"),
+    ("arena_alloc_pct", lambda r: r.arena_alloc_pct, "higher"),
+    ("arena_byte_pct", lambda r: r.arena_byte_pct, "higher"),
+    ("mispredictions_total", lambda r: r.mispredictions_total, "lower"),
+]
+
+#: Relative slack for deterministic float metrics: absorbs serialization
+#: rounding, nothing more.
+_FLOAT_EPS = 1e-9
+
+
+@dataclass
+class CompareResult:
+    """Everything ``bench compare`` decides, before rendering."""
+
+    old_seq: int
+    new_seq: int
+    regressions: List[Delta] = field(default_factory=list)
+    improvements: List[Delta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    benchmarks_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no benchmark disappeared."""
+        return not self.regressions and not self.missing
+
+
+def _changed(old: float, new: float) -> bool:
+    return abs(new - old) > _FLOAT_EPS * max(abs(old), abs(new), 1.0)
+
+
+def compare_sessions(
+    old: BenchSession,
+    new: BenchSession,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    wall_floor: float = DEFAULT_WALL_FLOOR,
+    include_wall: bool = True,
+) -> CompareResult:
+    """Gate ``new`` against ``old``; raises ValueError on incomparables.
+
+    ``include_wall=False`` skips wall-time entirely — the right mode when
+    the two sessions come from different machines (e.g. gating CI against
+    a committed baseline), where only the deterministic metrics carry
+    cross-host meaning.
+    """
+    if old.schema_version != new.schema_version:
+        raise ValueError(
+            f"schema version mismatch: old session v{old.schema_version} "
+            f"vs new v{new.schema_version} — regenerate the baseline"
+        )
+    if old.scale != new.scale:
+        raise ValueError(
+            f"scale mismatch: old session ran at scale {old.scale}, new at "
+            f"{new.scale} — benchmark trajectories are per-scale"
+        )
+    result = CompareResult(old_seq=old.seq, new_seq=new.seq)
+    new_by_name = {rec.name: rec for rec in new.records}
+    old_names = set()
+    for old_rec in old.records:
+        old_names.add(old_rec.name)
+        new_rec = new_by_name.get(old_rec.name)
+        if new_rec is None:
+            result.missing.append(old_rec.name)
+            continue
+        result.benchmarks_checked += 1
+        _compare_record(
+            old_rec, new_rec, result,
+            wall_tolerance=wall_tolerance,
+            wall_floor=wall_floor,
+            include_wall=include_wall,
+        )
+    result.added = sorted(set(new_by_name) - old_names)
+    return result
+
+
+def _compare_record(
+    old: BenchRecord,
+    new: BenchRecord,
+    result: CompareResult,
+    wall_tolerance: float,
+    wall_floor: float,
+    include_wall: bool,
+) -> None:
+    if include_wall and max(old.wall_seconds, new.wall_seconds) >= wall_floor:
+        delta = Delta(
+            benchmark=old.name,
+            metric="wall_seconds",
+            old=old.wall_seconds,
+            new=new.wall_seconds,
+            limit_pct=100.0 * wall_tolerance,
+        )
+        if new.wall_seconds > old.wall_seconds * (1.0 + wall_tolerance):
+            result.regressions.append(delta)
+        elif new.wall_seconds < old.wall_seconds * (1.0 - wall_tolerance):
+            result.improvements.append(delta)
+    for metric, get, direction in _DETERMINISTIC_METRICS:
+        old_value, new_value = float(get(old)), float(get(new))
+        if not _changed(old_value, new_value):
+            continue
+        delta = Delta(
+            benchmark=old.name, metric=metric,
+            old=old_value, new=new_value,
+        )
+        worse = (
+            direction == "equal"
+            or (direction == "lower" and new_value > old_value)
+            or (direction == "higher" and new_value < old_value)
+        )
+        (result.regressions if worse else result.improvements).append(delta)
+
+
+def _fmt_value(metric: str, value: float) -> str:
+    if metric == "wall_seconds":
+        return f"{value:.3f}s"
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:.4f}"
+
+
+def _fmt_delta(delta: Delta, verdict: str) -> str:
+    pct = delta.change_pct
+    pct_text = f"{pct:+.1f}%" if pct != float("inf") else "+inf%"
+    limit = (
+        f" (limit {delta.limit_pct:.0f}%)" if delta.limit_pct is not None
+        else " (zero tolerance)"
+    )
+    return (
+        f"{verdict} {delta.benchmark}: {delta.metric} "
+        f"{_fmt_value(delta.metric, delta.old)} -> "
+        f"{_fmt_value(delta.metric, delta.new)} [{pct_text}]{limit}"
+    )
+
+
+def render_compare(result: CompareResult) -> str:
+    """The comparison as text: one line per finding, verdict last."""
+    lines = [
+        f"bench compare: session {result.old_seq:04d} -> "
+        f"{result.new_seq:04d} ({result.benchmarks_checked} benchmarks)"
+    ]
+    for name in result.missing:
+        lines.append(f"  MISSING {name}: present in old session, absent in new")
+    for delta in result.regressions:
+        lines.append("  " + _fmt_delta(delta, "REGRESSION"))
+    for delta in result.improvements:
+        lines.append("  " + _fmt_delta(delta, "improvement"))
+    for name in result.added:
+        lines.append(f"  added {name}: no old record, not gated")
+    lines.append(
+        "result: "
+        + ("OK — no regressions"
+           if result.ok
+           else f"FAIL — {len(result.regressions)} regression(s), "
+                f"{len(result.missing)} missing benchmark(s)")
+    )
+    return "\n".join(lines)

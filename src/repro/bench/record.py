@@ -1,0 +1,152 @@
+"""Schema-versioned benchmark records and sessions.
+
+One :class:`BenchRecord` captures everything the regression gate needs
+about one benchmark: the noisy part (min-of-k wall time) and the
+deterministic part (simulated instruction costs from
+:mod:`repro.alloc.costs`, arena capture rate, heap size, and the PR 2
+telemetry misprediction totals).  A :class:`BenchSession` is one suite
+run — the records plus full provenance — and serializes to the
+``BENCH_<seq>.json`` trajectory files.
+
+The deterministic fields are exactly reproducible from the same traces:
+two suite runs on one commit produce identical records modulo the fields
+named in :data:`TIMING_FIELDS` (the test suite asserts this), which is
+what lets the comparator hold them to a zero-noise threshold while wall
+times get a generous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.provenance import BENCH_SCHEMA_VERSION
+
+__all__ = ["TIMING_FIELDS", "BenchRecord", "BenchSession"]
+
+#: Record fields that vary run-to-run on the same commit (wall-clock
+#: noise).  Everything else must be bit-identical across runs.
+TIMING_FIELDS = ("wall_seconds", "wall_seconds_mean")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark's measurements (one replay family in the suite)."""
+
+    name: str
+    program: str
+    dataset: str
+    allocator: str
+    repeats: int
+    #: Min-of-k wall time of the replay, seconds.
+    wall_seconds: float
+    #: Mean wall time across the k repeats, seconds (context for noise).
+    wall_seconds_mean: float
+    # -- deterministic metrics ----------------------------------------
+    allocs: int
+    frees: int
+    instr_per_alloc: float
+    instr_per_free: float
+    max_heap_size: int
+    final_live_bytes: int
+    arena_alloc_pct: float
+    arena_byte_pct: float
+    mispredictions: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict with stable key order and rounded floats."""
+        return {
+            "name": self.name,
+            "program": self.program,
+            "dataset": self.dataset,
+            "allocator": self.allocator,
+            "repeats": self.repeats,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "wall_seconds_mean": round(self.wall_seconds_mean, 6),
+            "allocs": self.allocs,
+            "frees": self.frees,
+            "instr_per_alloc": round(self.instr_per_alloc, 6),
+            "instr_per_free": round(self.instr_per_free, 6),
+            "max_heap_size": self.max_heap_size,
+            "final_live_bytes": self.final_live_bytes,
+            "arena_alloc_pct": round(self.arena_alloc_pct, 6),
+            "arena_byte_pct": round(self.arena_byte_pct, 6),
+            "mispredictions": dict(sorted(self.mispredictions.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            name=data["name"],
+            program=data["program"],
+            dataset=data["dataset"],
+            allocator=data["allocator"],
+            repeats=int(data["repeats"]),
+            wall_seconds=float(data["wall_seconds"]),
+            wall_seconds_mean=float(data["wall_seconds_mean"]),
+            allocs=int(data["allocs"]),
+            frees=int(data["frees"]),
+            instr_per_alloc=float(data["instr_per_alloc"]),
+            instr_per_free=float(data["instr_per_free"]),
+            max_heap_size=int(data["max_heap_size"]),
+            final_live_bytes=int(data["final_live_bytes"]),
+            arena_alloc_pct=float(data["arena_alloc_pct"]),
+            arena_byte_pct=float(data["arena_byte_pct"]),
+            mispredictions={
+                k: int(v) for k, v in data.get("mispredictions", {}).items()
+            },
+        )
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` with the run-to-run noisy fields stripped."""
+        data = self.to_dict()
+        for key in TIMING_FIELDS:
+            data.pop(key, None)
+        return data
+
+    @property
+    def mispredictions_total(self) -> int:
+        """All misprediction events across the three failure modes."""
+        return sum(self.mispredictions.values())
+
+
+@dataclass
+class BenchSession:
+    """One suite run: schema version, sequence number, provenance, records."""
+
+    seq: int
+    provenance: Dict[str, Any]
+    records: List[BenchRecord]
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    @property
+    def scale(self) -> float:
+        """The workload scale this session ran at."""
+        return float(self.provenance.get("scale", 1.0))
+
+    def record(self, name: str) -> BenchRecord:
+        """The record called ``name`` (KeyError if absent)."""
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "seq": self.seq,
+            "provenance": dict(self.provenance),
+            "records": [rec.to_dict() for rec in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchSession":
+        return cls(
+            seq=int(data["seq"]),
+            provenance=dict(data.get("provenance", {})),
+            records=[
+                BenchRecord.from_dict(rec) for rec in data.get("records", [])
+            ],
+            schema_version=int(data["schema_version"]),
+        )

@@ -1,0 +1,124 @@
+"""The benchmark-trajectory store: ``BENCH_<seq>.json`` on disk.
+
+A trajectory is an append-only directory of numbered session files
+(default ``results/bench``, overridable with ``--bench-dir`` or the
+``REPRO_BENCH_DIR`` environment variable).  Sequence numbers are
+zero-padded so lexical and numeric order agree; writes are atomic
+(temp file + ``os.replace``) so an interrupted run never leaves a
+half-written session for ``bench compare`` to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.bench.record import BenchSession
+
+__all__ = ["BENCH_DIR_ENV", "BenchStore", "default_bench_dir"]
+
+#: Environment variable naming the trajectory directory.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+_SEQ_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def default_bench_dir() -> Path:
+    """``$REPRO_BENCH_DIR`` or ``results/bench`` under the working tree."""
+    env = os.environ.get(BENCH_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("results") / "bench"
+
+
+class BenchStore:
+    """Reads and appends the ``BENCH_<seq>.json`` trajectory."""
+
+    def __init__(self, directory: Union[str, os.PathLike, None] = None):
+        self.directory = (
+            Path(directory) if directory else default_bench_dir()
+        )
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+
+    def session_paths(self) -> List[Tuple[int, Path]]:
+        """Every ``(seq, path)`` in the trajectory, ascending by seq."""
+        found: List[Tuple[int, Path]] = []
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                match = _SEQ_RE.match(path.name)
+                if match:
+                    found.append((int(match.group(1)), path))
+        found.sort(key=lambda pair: pair[0])
+        return found
+
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`write` will use."""
+        paths = self.session_paths()
+        return (paths[-1][0] + 1) if paths else 1
+
+    def history(self) -> List[BenchSession]:
+        """Every session in the trajectory, ascending by seq."""
+        return [self.load(path) for _, path in self.session_paths()]
+
+    # ------------------------------------------------------------------
+    # Reading and writing
+    # ------------------------------------------------------------------
+
+    def path_for(self, seq: int) -> Path:
+        """Where session ``seq`` lives (whether or not present)."""
+        return self.directory / f"BENCH_{seq:04d}.json"
+
+    def load(self, ref: Union[int, str, os.PathLike]) -> BenchSession:
+        """Load a session by seq number, ``"latest"``/``"prev"``, or path."""
+        path = self.resolve(ref)
+        with open(path, "r", encoding="utf-8") as handle:
+            return BenchSession.from_dict(json.load(handle))
+
+    def resolve(self, ref: Union[int, str, os.PathLike]) -> Path:
+        """Turn a session reference into the file that holds it."""
+        if isinstance(ref, int):
+            return self.path_for(ref)
+        text = str(ref)
+        if text in ("latest", "prev"):
+            paths = self.session_paths()
+            want = 1 if text == "latest" else 2
+            if len(paths) < want:
+                raise FileNotFoundError(
+                    f"no {text!r} session: the trajectory at "
+                    f"{self.directory} holds {len(paths)} session(s)"
+                )
+            return paths[-want][1]
+        if text.isdigit():
+            return self.path_for(int(text))
+        return Path(ref)
+
+    def write(self, session: BenchSession) -> Path:
+        """Atomically write ``session`` to its trajectory file."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(session.seq)
+        payload = json.dumps(session.to_dict(), indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".bench-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8", newline="\n") as tmp:
+                tmp.write(payload)
+                tmp.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __repr__(self) -> str:
+        return f"<BenchStore dir={str(self.directory)!r}>"

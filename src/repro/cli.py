@@ -12,6 +12,9 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc table all
     repro-alloc stats --program gawk
     repro-alloc timeline --program gawk --allocator arena
+    repro-alloc bench run --scale 0.05
+    repro-alloc bench compare
+    repro-alloc bench history
 
 ``trace`` runs a workload and stores its allocation trace; ``profile``
 trains a short-lived site database from a trace; ``predict`` scores a
@@ -20,13 +23,21 @@ trace against an allocator; ``warm`` populates the persistent trace
 cache (optionally in parallel); ``table`` regenerates the paper's
 tables; ``stats`` and ``timeline`` replay one workload with the
 telemetry recorder attached and report per-site mispredictions or the
-heap time series (see :mod:`repro.obs`).
+heap time series (see :mod:`repro.obs`); ``bench`` runs the benchmark
+suite into the ``BENCH_<seq>.json`` trajectory and gates regressions
+(see :mod:`repro.bench`).
+
+The global ``--spans-out`` / ``--spans-folded`` flags record a span
+trace of any subcommand (Chrome trace-event JSON for Perfetto, or a
+folded-stack text view); with them absent, tracing is off and stdout is
+byte-identical to an uninstrumented run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
@@ -38,8 +49,17 @@ from repro.analysis import TraceStore, simulate_arena, simulate_bsd, simulate_fi
 from repro.analysis import report as report_mod
 from repro.analysis.compare import diff_traces, render_diff
 from repro.analysis.inspect import lifetime_report, sites_report
-from repro.analysis.metrics import METRICS
+from repro.obs.metrics import METRICS
 from repro.analysis import tables as tables_mod
+from repro.bench import (
+    BENCH_ALLOCATORS,
+    DEFAULT_REPEATS,
+    DEFAULT_WALL_TOLERANCE,
+    BenchStore,
+    compare_sessions,
+    render_compare,
+    run_session,
+)
 from repro.core.database import load_predictor, save_predictor
 from repro.core.predictor import (
     DEFAULT_THRESHOLD,
@@ -52,11 +72,13 @@ from repro.obs import (
     DEFAULT_SAMPLE_INTERVAL,
     Telemetry,
     export_timeline,
+    render_folded,
     render_stats,
     render_timeline,
     telemetry_summary,
 )
 from repro.obs.export import DEFAULT_TELEMETRY_DIR
+from repro.obs.spans import TRACER, write_chrome_trace
 from repro.runtime.heap import HeapError
 from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
 from repro.workloads.registry import PROGRAM_ORDER, run_workload
@@ -68,12 +90,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    tracing = bool(args.spans_out or args.spans_folded)
+    if tracing:
+        TRACER.enable()
     try:
-        return args.handler(args)
+        # The root span turns every export into a correctly nested tree:
+        # cli.<command> encloses cache loads, workload runs, training,
+        # replays, and table rendering.  Disabled, it is a no-op object.
+        with TRACER.span(f"cli.{args.command}", cat="cli"):
+            return args.handler(args)
     except (OSError, ValueError, TraceFormatError, AllocatorError,
             HeapError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracing:
+            _export_spans(args.spans_out, args.spans_folded)
+            # Leave the process-wide tracer the way we found it, so a
+            # library caller invoking main() twice gets fresh traces.
+            TRACER.disable()
+            TRACER.reset()
+
+
+def _export_spans(spans_out: Optional[str],
+                  spans_folded: Optional[str]) -> None:
+    """Write the recorded span trace; notices go to stderr only."""
+    if spans_out:
+        path = write_chrome_trace(TRACER, spans_out)
+        print(f"spans: {path}", file=sys.stderr)
+    if spans_folded:
+        path = Path(spans_folded)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(render_folded(TRACER) + "\n", encoding="utf-8")
+        print(f"spans (folded): {path}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,7 +131,16 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-alloc",
         description="Lifetime-predicting allocation (Barrett & Zorn, PLDI'93)",
     )
-    sub = parser.add_subparsers(required=True, metavar="command")
+    parser.add_argument(
+        "--spans-out", metavar="PATH", default=None,
+        help="record a span trace of this invocation and write it as "
+             "Chrome trace-event JSON (open in Perfetto)")
+    parser.add_argument(
+        "--spans-folded", metavar="PATH", default=None,
+        help="also/instead write the span trace as folded stacks "
+             "(flamegraph.pl / speedscope input)")
+    sub = parser.add_subparsers(required=True, metavar="command",
+                                dest="command")
 
     trace = sub.add_parser("trace", help="run a workload, store its trace")
     trace.add_argument("program", choices=PROGRAM_ORDER)
@@ -199,6 +258,69 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="where to write the JSONL/CSV/JSON series "
                                f"(default {DEFAULT_TELEMETRY_DIR})")
     timeline.set_defaults(handler=_cmd_timeline)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark trajectory: run the suite, compare, show history",
+    )
+    bench_sub = bench.add_subparsers(required=True, metavar="action")
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run the benchmark suite into BENCH_<seq>.json"
+    )
+    bench_run.add_argument("--scale", type=float, default=None,
+                           help="workload scale factor (default: "
+                                "$REPRO_BENCH_SCALE or 1.0)")
+    bench_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="trace cache directory (default "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro-alloc)")
+    bench_run.add_argument("--no-cache", action="store_true",
+                           help="bypass the persistent trace cache")
+    bench_run.add_argument("--bench-dir", default=None, metavar="DIR",
+                           help="trajectory directory (default "
+                                "$REPRO_BENCH_DIR or results/bench)")
+    bench_run.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                           help="replays per benchmark; the minimum wall "
+                                f"time is recorded (default {DEFAULT_REPEATS})")
+    bench_run.add_argument("--programs", nargs="+", choices=PROGRAM_ORDER,
+                           default=None, metavar="PROG",
+                           help="restrict to these programs (default: all)")
+    bench_run.add_argument("--allocators", nargs="+",
+                           choices=list(BENCH_ALLOCATORS),
+                           default=list(BENCH_ALLOCATORS), metavar="ALLOC",
+                           help="restrict to these allocators (default: all)")
+    bench_run.set_defaults(handler=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="gate one session against another"
+    )
+    bench_compare.add_argument(
+        "old", nargs="?", default=None,
+        help="baseline session: seq number, path, 'prev' (default), or "
+             "'latest'")
+    bench_compare.add_argument(
+        "new", nargs="?", default=None,
+        help="candidate session: seq number, path, or 'latest' (default)")
+    bench_compare.add_argument("--bench-dir", default=None, metavar="DIR",
+                               help="trajectory directory (default "
+                                    "$REPRO_BENCH_DIR or results/bench)")
+    bench_compare.add_argument(
+        "--wall-tol", type=float, default=DEFAULT_WALL_TOLERANCE,
+        help="relative wall-time noise threshold "
+             f"(default {DEFAULT_WALL_TOLERANCE})")
+    bench_compare.add_argument(
+        "--no-wall", action="store_true",
+        help="skip wall-time gating entirely (cross-machine compares: "
+             "only the deterministic metrics carry meaning)")
+    bench_compare.set_defaults(handler=_cmd_bench_compare)
+
+    bench_history = bench_sub.add_parser(
+        "history", help="list the recorded benchmark trajectory"
+    )
+    bench_history.add_argument("--bench-dir", default=None, metavar="DIR",
+                               help="trajectory directory (default "
+                                    "$REPRO_BENCH_DIR or results/bench)")
+    bench_history.set_defaults(handler=_cmd_bench_history)
 
     return parser
 
@@ -440,6 +562,86 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_scale(args: argparse.Namespace) -> float:
+    """The bench scale: ``--scale``, else ``$REPRO_BENCH_SCALE``, else 1.0."""
+    if args.scale is not None:
+        return args.scale
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be a number (workload scale factor), "
+            f"got {raw!r}"
+        )
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    scale = _bench_scale(args)
+    store = TraceStore(
+        scale=scale, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    bench_store = BenchStore(args.bench_dir)
+    session = run_session(
+        store,
+        seq=bench_store.next_seq(),
+        programs=args.programs,
+        allocators=args.allocators,
+        repeats=args.repeats,
+    )
+    path = bench_store.write(session)
+    for rec in session.records:
+        line = (
+            f"{rec.name:<24} {rec.wall_seconds:8.3f}s"
+            f"  instr/alloc {rec.instr_per_alloc:7.1f}"
+            f"  heap {rec.max_heap_size:>11,}"
+        )
+        if rec.allocator == "arena":
+            line += (
+                f"  capture {rec.arena_byte_pct:5.1f}%"
+                f"  mispred {rec.mispredictions_total:,}"
+            )
+        print(line)
+    sha = session.provenance.get("git_sha", "unknown")[:10]
+    print(
+        f"bench session {session.seq:04d} (sha {sha}, scale {scale}, "
+        f"{len(session.records)} benchmarks, min of {args.repeats}) "
+        f"-> {path}"
+    )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    bench_store = BenchStore(args.bench_dir)
+    old = bench_store.load(args.old if args.old is not None else "prev")
+    new = bench_store.load(args.new if args.new is not None else "latest")
+    result = compare_sessions(
+        old, new,
+        wall_tolerance=args.wall_tol,
+        include_wall=not args.no_wall,
+    )
+    print(render_compare(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    bench_store = BenchStore(args.bench_dir)
+    sessions = bench_store.history()
+    if not sessions:
+        print(f"no bench sessions under {bench_store.directory}")
+        return 0
+    print("seq   git sha     scale  benchmarks  total wall  recorded at")
+    for session in sessions:
+        prov = session.provenance
+        total_wall = sum(rec.wall_seconds for rec in session.records)
+        print(
+            f"{session.seq:04d}  {prov.get('git_sha', 'unknown')[:10]:<10}"
+            f"  {session.scale:<5g}  {len(session.records):>10}"
+            f"  {total_wall:9.3f}s  {prov.get('created_at', '?')}"
+        )
+    return 0
+
+
 def _table_worker(
     key: str, scale: float, cache_dir: Optional[str], use_cache: bool
 ) -> str:
@@ -474,7 +676,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
     else:
         for key in which:
             compute, render = _TABLES[key]
-            print(render(compute(store)))
+            with TRACER.span("table.render", cat="table", table=key):
+                text = render(compute(store))
+            print(text)
             print()
     return 0
 

@@ -179,10 +179,17 @@ def train_site_predictor(
     paper's conservative all-short-lived rule, chosen because mispredicted
     long-lived objects pollute arenas (§4.1, §5.2).
     """
-    profile = build_profile(
-        trace, chain_length=chain_length, size_rounding=size_rounding
-    )
-    selected = frozenset(profile.short_lived_sites(threshold))
+    # Imported lazily: repro.obs.telemetry imports this module for
+    # DEFAULT_THRESHOLD, so a top-level obs import would be circular.
+    from repro.obs.spans import TRACER
+
+    with TRACER.span("profile.train_sites", cat="core",
+                     program=trace.program, dataset=trace.dataset,
+                     threshold=threshold):
+        profile = build_profile(
+            trace, chain_length=chain_length, size_rounding=size_rounding
+        )
+        selected = frozenset(profile.short_lived_sites(threshold))
     return SitePredictor(
         selected,
         threshold=threshold,
@@ -283,6 +290,18 @@ def evaluate(
     database entries that matched some test allocation, matching how the
     paper reports true prediction.
     """
+    from repro.obs.spans import TRACER  # lazy: see train_site_predictor
+
+    with TRACER.span("predict.evaluate", cat="core",
+                     program=trace.program, dataset=trace.dataset):
+        return _evaluate(predictor, trace, count_matched_sites)
+
+
+def _evaluate(
+    predictor: LifetimePredictor,
+    trace: Trace,
+    count_matched_sites: bool,
+) -> PredictionEvaluation:
     total_bytes = 0
     predicted_short = 0
     error_bytes = 0

@@ -11,9 +11,14 @@ halves that share one counter backend:
   along a trace replay through the probe interface on
   :class:`~repro.alloc.base.Allocator`, producing time-series heap
   samples and per-site misprediction counters.
+* :mod:`repro.obs.spans` — the :class:`SpanTracer` that records nested
+  wall-time spans across the whole pipeline (workload runs, cache
+  resolution, training, replay, table rendering) and exports them as
+  Chrome trace-event JSON for Perfetto.
 
 :mod:`repro.obs.export` writes JSONL/JSON/CSV artifacts and
-:mod:`repro.obs.report` renders the ``stats`` / ``timeline`` CLI views.
+:mod:`repro.obs.report` renders the ``stats`` / ``timeline`` CLI views
+plus the folded-stack span view.
 """
 
 from repro.obs.metrics import METRICS, Metrics, StageTiming
@@ -24,13 +29,33 @@ from repro.obs.telemetry import (
     SiteCounters,
     Telemetry,
 )
+from repro.obs.spans import (
+    TRACER,
+    Span,
+    SpanTracer,
+    chrome_trace,
+    traced,
+    write_chrome_trace,
+)
 from repro.obs.export import export_timeline, telemetry_summary, write_jsonl
-from repro.obs.report import render_stats, render_timeline, sparkline
+from repro.obs.report import (
+    render_folded,
+    render_stats,
+    render_timeline,
+    sparkline,
+)
 
 __all__ = [
     "METRICS",
     "Metrics",
     "StageTiming",
+    "TRACER",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "traced",
+    "write_chrome_trace",
+    "render_folded",
     "DEFAULT_SAMPLE_INTERVAL",
     "MISPREDICTION_KINDS",
     "NullTelemetry",

@@ -1,18 +1,21 @@
-"""Terminal rendering for the ``stats`` and ``timeline`` subcommands.
+"""Terminal rendering for telemetry and span-trace views.
 
-Pure formatting over a finished :class:`~repro.obs.telemetry.Telemetry`:
-an ASCII/Unicode sparkline per gauge for ``timeline``, and a per-site
-misprediction table for ``stats``.  No I/O happens here, so the renderers
-are trivially testable and the CLI stays a thin shell.
+Pure formatting: an ASCII/Unicode sparkline per gauge for ``timeline``, a
+per-site misprediction table for ``stats`` (both over a finished
+:class:`~repro.obs.telemetry.Telemetry`), and a folded-stack text view of
+a :class:`~repro.obs.spans.SpanTracer` for flamegraph tooling.  No I/O
+happens here, so the renderers are trivially testable and the CLI stays a
+thin shell.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from repro.obs.spans import SpanTracer
 from repro.obs.telemetry import Telemetry
 
-__all__ = ["sparkline", "render_stats", "render_timeline"]
+__all__ = ["sparkline", "render_stats", "render_timeline", "render_folded"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -147,3 +150,25 @@ def _pct(numerator: int, denominator: int) -> str:
     if denominator == 0:
         return "0.0%"
     return f"{100.0 * numerator / denominator:.1f}%"
+
+
+def render_folded(tracer: SpanTracer) -> str:
+    """The tracer's spans as folded stacks: ``a;b;c <self-microseconds>``.
+
+    One line per unique span path, semicolon-joined, with the path's
+    *self* time (total duration minus the time spent in child spans) —
+    the format ``flamegraph.pl`` and speedscope consume directly.  Lines
+    are sorted by path so the output is deterministic.
+    """
+    total: Dict[Tuple[str, ...], int] = {}
+    child_time: Dict[Tuple[str, ...], int] = {}
+    for span in tracer.spans:
+        total[span.path] = total.get(span.path, 0) + span.dur_us
+        if len(span.path) > 1:
+            parent = span.path[:-1]
+            child_time[parent] = child_time.get(parent, 0) + span.dur_us
+    lines = []
+    for path in sorted(total):
+        self_us = max(0, total[path] - child_time.get(path, 0))
+        lines.append(f"{';'.join(path)} {self_us}")
+    return "\n".join(lines)

@@ -130,7 +130,7 @@ class TestWarmCommand:
     def test_metrics_json_written(self, tmp_path, capsys):
         # METRICS is process-wide and other tests in this process also
         # warm stores, so assert on the delta, not absolute counts.
-        from repro.analysis.metrics import METRICS
+        from repro.obs.metrics import METRICS
 
         before_runs = METRICS.timing("workload.run").calls
         before_warm = METRICS.counter("warm.run")

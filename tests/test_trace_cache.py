@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.analysis.experiments import TraceStore
-from repro.analysis.metrics import Metrics
+from repro.obs.metrics import Metrics
 from repro.analysis import trace_cache as trace_cache_mod
 from repro.analysis.trace_cache import TraceCache, default_cache_dir
 from repro.runtime import tracefile
