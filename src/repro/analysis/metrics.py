@@ -11,6 +11,15 @@ object.  It will be removed in a future major version — import
 :mod:`repro.obs` package) in new code.
 """
 
+import warnings
+
 from repro.obs.metrics import METRICS, Metrics, StageTiming
 
 __all__ = ["Metrics", "StageTiming", "METRICS"]
+
+warnings.warn(
+    "repro.analysis.metrics is deprecated; import METRICS/Metrics/"
+    "StageTiming from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

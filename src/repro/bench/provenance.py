@@ -51,7 +51,9 @@ def collect_provenance(
         "implementation": platform.python_implementation(),
         "platform": f"{platform.system()}-{platform.machine()}",
         "argv0": sys.argv[0].rsplit("/", 1)[-1] if sys.argv else "",
-        "created_at": datetime.now(timezone.utc).isoformat(
+        # Deliberate wall-clock read: created_at is informational only
+        # and excluded from determinism comparisons (see docstring).
+        "created_at": datetime.now(timezone.utc).isoformat(  # alloclint: disable=R003
             timespec="seconds"
         ),
     }

@@ -24,7 +24,16 @@ from typing import Any, Optional
 
 from repro.runtime.heap import HeapObject, TracedHeap
 
-__all__ = ["capture_chain", "StackTracedHeap"]
+__all__ = ["capture_chain", "StackTracedHeap", "CAPTURE_DEPTH"]
+
+#: Canonical chain-capture depth: the maximum number of frames any chain
+#: capture walks, and therefore the deepest call chain a recorded site can
+#: carry.  This is *the* depth constant for the whole reproduction — the
+#: static analyzer (:mod:`repro.static`) bounds its feasible-chain
+#: enumeration with it, and alloclint's R004 uses it to flag allocation
+#: wrappers whose captured chains would be truncated.  Import it instead
+#: of copying the number.
+CAPTURE_DEPTH = 64
 
 #: Frames whose function names start with these prefixes are tracing
 #: machinery, not program structure, and are skipped.
@@ -34,7 +43,7 @@ _MACHINERY = ("capture_chain", "malloc")
 def capture_chain(
     skip: int = 0,
     stop_at: Optional[str] = None,
-    limit: int = 64,
+    limit: int = CAPTURE_DEPTH,
 ) -> tuple:
     """The current Python call chain, outermost function first.
 

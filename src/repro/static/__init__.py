@@ -1,0 +1,54 @@
+"""Static allocation-site analysis and contract linting.
+
+The dynamic half of the reproduction discovers allocation sites by
+running the workloads; this package recovers the same ``(chain, size)``
+site abstraction *from source* and uses it two ways:
+
+* :mod:`repro.static.astwalk` / :mod:`repro.static.callgraph` /
+  :mod:`repro.static.sitedb` — the static site extractor: a bounded
+  call-graph projection of each workload onto its traced function
+  names, emitting a deterministic site database in the key space of
+  :mod:`repro.core.sites`;
+* :mod:`repro.static.audit` — trace-drift auditing: diffs static sites
+  against a trace store or a saved predictor database (dead sites gate,
+  unexercised sites inform, CCE collisions are cross-checked);
+* :mod:`repro.static.lint` / :mod:`repro.static.reporters` — alloclint,
+  the repo-contract rule engine (R001–R004) with text/JSON/SARIF
+  output.
+
+Both halves surface through the ``repro lint`` and ``repro audit-sites``
+CLI subcommands; see DESIGN.md §9 for the rule catalogue.
+"""
+
+from repro.static.audit import AuditError, SiteAudit, audit_predictor_file, audit_trace
+from repro.static.callgraph import (
+    ProgramGraph,
+    StaticAnalysisError,
+    build_program_graph,
+)
+from repro.static.lint import (
+    Finding,
+    LintConfig,
+    LintResult,
+    lint_paths,
+    lint_source,
+)
+from repro.static.sitedb import StaticDBFormatError, StaticSiteDB, build_static_db
+
+__all__ = [
+    "AuditError",
+    "SiteAudit",
+    "audit_predictor_file",
+    "audit_trace",
+    "ProgramGraph",
+    "StaticAnalysisError",
+    "build_program_graph",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "StaticDBFormatError",
+    "StaticSiteDB",
+    "build_static_db",
+]

@@ -1,0 +1,457 @@
+"""AST indexing for the static allocation-site analyzer.
+
+The dynamic runtime (:mod:`repro.runtime.heap`) defines what an
+allocation-site chain *is*: the stack of :func:`~repro.runtime.heap.traced`
+function names (plus explicit :meth:`TracedHeap.frame` pushes) above a
+``malloc``.  This module recovers the raw material for that abstraction
+from source, without importing or executing any workload code:
+
+* every function-like unit — ``def``, method, ``lambda``, nested ``def``,
+  and each ``with heap.frame("name")`` block (modelled as a child unit
+  that pushes its frame name) — becomes a :class:`FuncUnit`;
+* every call inside a unit becomes a :class:`CallSite` classified by how
+  its callee is written (plain name, attribute, or dynamic — subscripted
+  operator tables, called parameters);
+* every ``*.malloc(size)`` / ``*.realloc(obj, size)`` becomes an
+  :class:`AllocSite` carrying the size expression for later constant
+  folding;
+* function references that *escape* without being called (bound methods
+  stored in dispatch dicts, allocator callbacks like perl's
+  ``self.xalloc``, lambdas passed as arguments) are recorded so the call
+  graph can over-approximate indirect dispatch.
+
+Everything here is per-module and syntactic; cross-module name
+resolution, constant folding, and the traced-call-graph projection live
+in :mod:`repro.static.callgraph`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "AllocSite",
+    "CallSite",
+    "FuncUnit",
+    "ModuleIndex",
+    "index_module",
+    "TRACED_DECORATOR",
+    "ALLOC_METHODS",
+]
+
+#: The decorator that pushes a function's name onto the traced call chain.
+TRACED_DECORATOR = "traced"
+
+#: Heap methods that record an allocation event: method name -> index of
+#: the size argument in the call's positional arguments.
+ALLOC_METHODS = {"malloc": 0, "realloc": 1}
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One syntactic ``malloc``/``realloc`` call.
+
+    ``size_expr`` is the argument AST (folded later); ``line``/``col``
+    locate the call for lint findings and audit reports.
+    """
+
+    kind: str
+    size_expr: Optional[ast.expr]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic call, classified by callee shape.
+
+    ``kind`` is ``"name"`` (``foo(...)``), ``"attr"`` (``x.foo(...)``,
+    with ``base`` the receiver's name when it is a simple name), or
+    ``"dynamic"`` (anything else: ``table[key](...)``, calls on call
+    results, called parameters).  ``callable_args`` are names/unit ids of
+    function references passed as arguments — the receiver may invoke
+    them, so the graph adds caller->argument edges.  ``arg_exprs`` keeps
+    the positional argument ASTs for interprocedural size folding.
+    """
+
+    kind: str
+    name: str
+    base: Optional[str]
+    callable_args: Tuple[str, ...]
+    line: int
+    arg_exprs: Tuple[ast.expr, ...] = ()
+
+
+@dataclass
+class FuncUnit:
+    """A function-like unit: def, method, lambda, or frame block."""
+
+    unit_id: str
+    name: str
+    module: str
+    cls: Optional[str]
+    traced: bool
+    is_frame: bool
+    line: int
+    #: Positional parameter names, in order (``self``/``cls`` included for
+    #: methods — the call-graph layer aligns arguments accordingly).
+    params: Tuple[str, ...] = ()
+    calls: List[CallSite] = field(default_factory=list)
+    allocs: List[AllocSite] = field(default_factory=list)
+    escapes: List[str] = field(default_factory=list)
+    children: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleIndex:
+    """Everything the call-graph layer needs to know about one module."""
+
+    path: str
+    units: Dict[str, FuncUnit] = field(default_factory=dict)
+    #: Module-level ``NAME = <expr>`` assignments, for constant folding.
+    const_exprs: Dict[str, ast.expr] = field(default_factory=dict)
+    #: ``from X import name [as alias]``: alias -> (module, original name).
+    import_from: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: ``import X [as alias]``: alias -> module.  Calls through these are
+    #: stdlib/no-op for chain purposes.
+    import_module: Dict[str, str] = field(default_factory=dict)
+    #: class name -> {method name -> unit id}
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: class name -> string value of a class-level ``name = "..."`` attr
+    #: (how workload entry classes are recognized).
+    class_name_attr: Dict[str, str] = field(default_factory=dict)
+    #: class name -> base class names (syntactic).
+    class_bases: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def _decorator_is_traced(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == TRACED_DECORATOR
+    if isinstance(node, ast.Attribute):
+        return node.attr == TRACED_DECORATOR
+    return False
+
+
+def _callable_ref_name(node: ast.expr) -> Optional[str]:
+    """The bare name of a function reference argument, if it looks like one.
+
+    ``self.xalloc`` -> ``"xalloc"``; ``compile_pattern`` -> its own name.
+    Non-reference expressions return ``None``; whether the name really
+    denotes a known function is decided at resolution time.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _UnitWalker(ast.NodeVisitor):
+    """Collects calls, allocations, and escapes for one :class:`FuncUnit`.
+
+    Nested lambdas/defs and ``with *.frame("x")`` blocks spawn child
+    units; the walker does not descend into them itself.
+    """
+
+    def __init__(self, indexer: "_ModuleIndexer", unit: FuncUnit):
+        self.indexer = indexer
+        self.unit = unit
+
+    # -- nested scopes -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        child = self.indexer.add_function(node, self.unit.cls, parent=self.unit)
+        self.unit.escapes.append(child.unit_id)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        child = self.indexer.add_lambda(node, self.unit)
+        self.unit.escapes.append(child.unit_id)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Classes defined inside functions: index their methods as units
+        # so name resolution still sees them; rare, but cheap.
+        self.indexer.add_class(node)
+
+    # -- frame blocks --------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        frame_names: List[str] = []
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and isinstance(ctx.func, ast.Attribute)
+                and ctx.func.attr == "frame"
+                and ctx.args
+                and isinstance(ctx.args[0], ast.Constant)
+                and isinstance(ctx.args[0].value, str)
+            ):
+                frame_names.append(ctx.args[0].value)
+            else:
+                self.visit(ctx)
+        if not frame_names:
+            for stmt in node.body:
+                self.visit(stmt)
+            return
+        # Innermost frame owns the body; outer frames nest around it.
+        owner = self.unit
+        for frame_name in frame_names:
+            child = self.indexer.add_frame(frame_name, owner, node.lineno)
+            owner = child
+        walker = _UnitWalker(self.indexer, owner)
+        for stmt in node.body:
+            walker.visit(stmt)
+
+    # -- calls and allocations ----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        callable_args: List[str] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                child = self.indexer.add_lambda(arg, self.unit)
+                self.unit.escapes.append(child.unit_id)
+                callable_args.append(child.unit_id)
+            else:
+                ref = _callable_ref_name(arg)
+                if ref is not None:
+                    callable_args.append(ref)
+
+        if isinstance(func, ast.Attribute) and func.attr in ALLOC_METHODS:
+            size_index = ALLOC_METHODS[func.attr]
+            size_expr = (
+                node.args[size_index] if len(node.args) > size_index else None
+            )
+            self.unit.allocs.append(
+                AllocSite(
+                    kind=func.attr,
+                    size_expr=size_expr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+            self.visit(func.value)
+        elif isinstance(func, ast.Name):
+            self.unit.calls.append(
+                CallSite(
+                    kind="name",
+                    name=func.id,
+                    base=None,
+                    callable_args=tuple(callable_args),
+                    line=node.lineno,
+                    arg_exprs=tuple(node.args),
+                )
+            )
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+            elif (
+                isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+            ):
+                base = "super"
+            else:
+                base = None
+            self.unit.calls.append(
+                CallSite(
+                    kind="attr",
+                    name=func.attr,
+                    base=base,
+                    callable_args=tuple(callable_args),
+                    line=node.lineno,
+                    arg_exprs=tuple(node.args),
+                )
+            )
+            self.visit(func.value)
+        else:
+            self.unit.calls.append(
+                CallSite(
+                    kind="dynamic",
+                    name="",
+                    base=None,
+                    callable_args=tuple(callable_args),
+                    line=node.lineno,
+                )
+            )
+            self.visit(func)
+        # Arguments may contain nested calls/lambdas of their own; the
+        # lambdas already created above are deduplicated by the indexer.
+        for arg in node.args:
+            if not isinstance(arg, ast.Lambda):
+                self.visit(arg)
+        for kw in node.keywords:
+            if not isinstance(kw.value, ast.Lambda):
+                self.visit(kw.value)
+
+    # -- escaping references -------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.unit.escapes.append(node.attr)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.unit.escapes.append(node.id)
+
+
+class _ModuleIndexer:
+    """Builds a :class:`ModuleIndex` from one parsed module."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.index = ModuleIndex(path=path)
+        self._tree = tree
+        self._frame_seq = 0
+
+    def run(self) -> ModuleIndex:
+        for node in self._tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.add_function(node, cls=None, parent=None)
+            elif isinstance(node, ast.ClassDef):
+                self.add_class(node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self.index.const_exprs[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.index.const_exprs[node.target.id] = node.value
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.index.import_from[local] = (node.module, alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.index.import_module[local] = alias.name
+        return self.index
+
+    # -- unit constructors --------------------------------------------
+
+    def _register(self, unit: FuncUnit) -> FuncUnit:
+        self.index.units[unit.unit_id] = unit
+        return unit
+
+    def add_function(
+        self,
+        node: ast.FunctionDef,
+        cls: Optional[str],
+        parent: Optional[FuncUnit],
+    ) -> FuncUnit:
+        qual = f"{cls}.{node.name}" if cls else node.name
+        unit_id = f"{self.index.path}::{qual}@{node.lineno}"
+        if unit_id in self.index.units:
+            return self.index.units[unit_id]
+        traced = any(_decorator_is_traced(dec) for dec in node.decorator_list)
+        params = tuple(
+            a.arg for a in node.args.posonlyargs + node.args.args
+        )
+        unit = self._register(
+            FuncUnit(
+                unit_id=unit_id,
+                name=node.name,
+                module=self.index.path,
+                cls=cls,
+                traced=traced,
+                is_frame=False,
+                line=node.lineno,
+                params=params,
+            )
+        )
+        if parent is not None:
+            parent.children.append(unit_id)
+        walker = _UnitWalker(self, unit)
+        for stmt in node.body:
+            walker.visit(stmt)
+        return unit
+
+    def add_lambda(self, node: ast.Lambda, parent: FuncUnit) -> FuncUnit:
+        unit_id = (
+            f"{self.index.path}::<lambda>@{node.lineno}:{node.col_offset}"
+        )
+        if unit_id in self.index.units:
+            return self.index.units[unit_id]
+        params = tuple(
+            a.arg for a in node.args.posonlyargs + node.args.args
+        )
+        unit = self._register(
+            FuncUnit(
+                unit_id=unit_id,
+                name="<lambda>",
+                module=self.index.path,
+                cls=parent.cls,
+                traced=False,
+                is_frame=False,
+                line=node.lineno,
+                params=params,
+            )
+        )
+        parent.children.append(unit_id)
+        _UnitWalker(self, unit).visit(node.body)
+        return unit
+
+    def add_frame(
+        self, frame_name: str, parent: FuncUnit, line: int
+    ) -> FuncUnit:
+        self._frame_seq += 1
+        unit_id = f"{self.index.path}::<frame:{frame_name}>@{line}#{self._frame_seq}"
+        unit = self._register(
+            FuncUnit(
+                unit_id=unit_id,
+                name=frame_name,
+                module=self.index.path,
+                cls=parent.cls,
+                traced=True,
+                is_frame=True,
+                line=line,
+            )
+        )
+        parent.children.append(unit_id)
+        # The frame push is modelled as a call from the parent into the
+        # frame unit, so chains gain the frame name exactly where the
+        # runtime would push it.
+        parent.calls.append(
+            CallSite(
+                kind="frame", name=unit_id, base=None,
+                callable_args=(), line=line,
+            )
+        )
+        return unit
+
+    def add_class(self, node: ast.ClassDef) -> None:
+        methods: Dict[str, str] = {}
+        bases = [
+            base.id if isinstance(base, ast.Name) else
+            base.attr if isinstance(base, ast.Attribute) else "?"
+            for base in node.bases
+        ]
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                unit = self.add_function(item, cls=node.name, parent=None)
+                methods[item.name] = unit.unit_id
+            elif isinstance(item, ast.Assign) and len(item.targets) == 1:
+                target = item.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "name"
+                    and isinstance(item.value, ast.Constant)
+                    and isinstance(item.value.value, str)
+                ):
+                    self.index.class_name_attr[node.name] = item.value.value
+        self.index.classes[node.name] = methods
+        self.index.class_bases[node.name] = bases
+
+
+def index_module(path: str, source: str) -> ModuleIndex:
+    """Parse ``source`` and index it under the (relative) ``path`` label.
+
+    Raises :class:`SyntaxError` on unparsable source — callers decide
+    whether that is a hard error (lint exit code 2) or a skip.
+    """
+    tree = ast.parse(source, filename=path)
+    return _ModuleIndexer(path, tree).run()

@@ -1,0 +1,237 @@
+"""Trace-drift auditing: static sites vs. dynamic reality.
+
+The repo's dynamic artifacts — cached traces, saved predictor databases,
+the committed bench baseline — are all keyed on allocation sites.  When
+workload source changes, those artifacts silently keep referring to
+chains that no longer exist.  This module diffs them against the static
+site database of the *current* source and classifies the differences:
+
+* **dead sites** — dynamic/stored sites that are statically infeasible
+  in today's source.  This is drift (stale cache, stale DB, or an
+  analyzer soundness bug) and gates the audit: any dead site fails it.
+* **unexercised sites** — statically feasible sites never observed
+  dynamically.  Expected at small scale and from the analyzer's
+  deliberate over-approximation of dynamic dispatch; informational.
+* **collision cross-check** — CCE key collisions observed among the
+  dynamic chains (:func:`repro.core.cce.collision_report`) are verified
+  against the statically predicted collision groups; a dynamically
+  colliding chain the static enumeration never produced is counted as
+  *unverified* (possible only under enumeration truncation or drift).
+
+Predictor databases saved at a sub-chain length (``chain_length=N``)
+store the last ``N`` raw callers rather than rooted pruned chains, so
+they are audited by *suffix feasibility*: every adjacent pair must be a
+projected edge and the innermost context must allocate the stored size
+(sizes compared under the database's rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cce import collision_report, encrypt_chain
+from repro.core.predictor import SitePredictor
+from repro.core.sites import prune_recursive_cycles, round_size
+from repro.core.database import load_predictor
+from repro.runtime.events import Trace
+from repro.static.callgraph import SIZE_WILDCARD
+from repro.static.sitedb import StaticSiteDB
+
+__all__ = ["SiteAudit", "AuditError", "audit_trace", "audit_predictor_file"]
+
+
+class AuditError(Exception):
+    """Raised when an audit cannot be performed at all (bad inputs)."""
+
+
+@dataclass
+class SiteAudit:
+    """The outcome of auditing one dynamic source against one static DB."""
+
+    program: str
+    source: str
+    static_sites: int
+    static_contexts: int
+    truncated: bool
+    unresolved_calls: int
+    dynamic_sites: int
+    dead: List[Dict[str, object]] = field(default_factory=list)
+    unexercised: List[Dict[str, object]] = field(default_factory=list)
+    dynamic_collisions: Dict[str, object] = field(default_factory=dict)
+    static_collision_groups: int = 0
+    unverified_collisions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Audits gate on drift only: dead sites fail, noise does not."""
+        return not self.dead
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "source": self.source,
+            "static": {
+                "sites": self.static_sites,
+                "contexts": self.static_contexts,
+                "truncated": self.truncated,
+                "unresolved_calls": self.unresolved_calls,
+                "collision_groups": self.static_collision_groups,
+            },
+            "dynamic": {
+                "sites": self.dynamic_sites,
+                "collisions": self.dynamic_collisions,
+            },
+            "dead_sites": self.dead,
+            "unexercised_sites": self.unexercised,
+            "unverified_collisions": self.unverified_collisions,
+            "ok": self.ok,
+        }
+
+
+def _chain_size_sort_key(
+    entry: Tuple[Tuple[str, ...], Optional[int]]
+) -> Tuple[Tuple[str, ...], int, int]:
+    chain, size = entry
+    return (chain, 0 if size is None else 1, size or 0)
+
+
+def _base_audit(db: StaticSiteDB, source: str) -> SiteAudit:
+    return SiteAudit(
+        program=db.program,
+        source=source,
+        static_sites=len(db.sites),
+        static_contexts=len(db.contexts()),
+        truncated=db.truncated,
+        unresolved_calls=db.unresolved_calls,
+        dynamic_sites=0,
+        static_collision_groups=len(db.collisions),
+    )
+
+
+def audit_trace(db: StaticSiteDB, trace: Trace, source: str) -> SiteAudit:
+    """Audit a dynamic trace against the static database."""
+    audit = _base_audit(db, source)
+    counts: Dict[Tuple[Tuple[str, ...], int], int] = {}
+    for obj_id in range(trace.total_objects):
+        key = (
+            prune_recursive_cycles(trace.chain_of(obj_id)),
+            trace.size_of(obj_id),
+        )
+        counts[key] = counts.get(key, 0) + 1
+    audit.dynamic_sites = len(counts)
+
+    dyn_by_chain: Dict[Tuple[str, ...], set] = {}
+    for chain, size in counts:
+        dyn_by_chain.setdefault(chain, set()).add(size)
+
+    audit.dead = [
+        {"chain": list(chain), "size": size, "objects": counts[(chain, size)]}
+        for chain, size in sorted(counts, key=_chain_size_sort_key)
+        if not db.covers(chain, size)
+    ]
+    audit.unexercised = [
+        {"chain": list(chain), "size": size}
+        for chain, size in db.sites
+        if chain not in dyn_by_chain
+        or (size is not None and size not in dyn_by_chain[chain])
+    ]
+
+    report = collision_report(dyn_by_chain)
+    audit.dynamic_collisions = {
+        "chains": report.chains,
+        "distinct_keys": report.distinct_keys,
+        "colliding_chains": report.colliding_chains,
+        "worst_bucket": report.worst_bucket,
+        "collision_rate": report.collision_rate,
+    }
+    static_chains = set(db.static_chains())
+    buckets: Dict[int, List[Tuple[str, ...]]] = {}
+    for chain in dyn_by_chain:
+        buckets.setdefault(encrypt_chain(chain), []).append(chain)
+    unverified = 0
+    for group in buckets.values():
+        if len(group) > 1:
+            unverified += sum(
+                1 for chain in group if chain not in static_chains
+            )
+    audit.unverified_collisions = unverified
+    return audit
+
+
+def _covers_subchain(
+    db: StaticSiteDB, chain: Tuple[str, ...], size: int, size_rounding: int
+) -> bool:
+    """Suffix feasibility for length-N predictor keys (see module doc)."""
+    if not chain:
+        return False
+    contexts = set(db.contexts())
+    if chain[0] not in contexts:
+        return False
+    for src, dst in zip(chain, chain[1:]):
+        if dst not in db.edges.get(src, ()):
+            return False
+    sizes = db.context_sizes(chain[-1])
+    if not sizes:
+        return False
+    if SIZE_WILDCARD in sizes or size in sizes:
+        return True
+    return any(
+        s is not None and round_size(s, size_rounding) == size for s in sizes
+    )
+
+
+def _covers_rounded(
+    db: StaticSiteDB, chain: Tuple[str, ...], size: int, size_rounding: int
+) -> bool:
+    if db.covers(chain, size):
+        return True
+    if size_rounding <= 1:
+        return False
+    sizes = db.context_sizes(chain[-1]) if chain else set()
+    return any(
+        s is not None and round_size(s, size_rounding) == size for s in sizes
+    )
+
+
+def audit_predictor_file(db: StaticSiteDB, path: str) -> SiteAudit:
+    """Audit a saved predictor database (``core.database``) at ``path``.
+
+    Only ``kind="site"`` databases carry chains; auditing a CCE or
+    size-only database raises :class:`AuditError`.
+    """
+    predictor = load_predictor(path)
+    if not isinstance(predictor, SitePredictor):
+        raise AuditError(
+            f"{path}: only site-kind predictor databases carry call chains "
+            f"(got {type(predictor).__name__})"
+        )
+    if predictor.program not in ("?", db.program):
+        raise AuditError(
+            f"{path}: predictor is for program {predictor.program!r}, "
+            f"static DB is for {db.program!r}"
+        )
+    audit = _base_audit(db, f"sites-db:{path}")
+    audit.dynamic_sites = len(predictor.sites)
+    rounding = predictor.size_rounding
+    full = predictor.chain_length is None
+    dead = []
+    for chain, size in sorted(predictor.sites, key=_chain_size_sort_key):
+        feasible = (
+            _covers_rounded(db, chain, size, rounding)
+            if full
+            else _covers_subchain(db, chain, size, rounding)
+        )
+        if not feasible:
+            dead.append({"chain": list(chain), "size": size, "objects": None})
+    audit.dead = dead
+    chains = sorted({chain for chain, _ in predictor.sites})
+    report = collision_report(chains)
+    audit.dynamic_collisions = {
+        "chains": report.chains,
+        "distinct_keys": report.distinct_keys,
+        "colliding_chains": report.colliding_chains,
+        "worst_bucket": report.worst_bucket,
+        "collision_rate": report.collision_rate,
+    }
+    return audit

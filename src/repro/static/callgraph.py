@@ -1,0 +1,649 @@
+"""Bounded static call graph over the workload sources.
+
+This module turns the per-module syntax facts of
+:mod:`repro.static.astwalk` into the *projected traced-call graph* of one
+workload program: the graph whose nodes are traced chain entries (the
+function names that :func:`repro.runtime.heap.traced` pushes, plus the
+``"main"`` root) and whose edges are feasible direct successions of those
+names on a dynamic chain.  Untraced functions are *transparent* — the
+projection closes over them, exactly as the runtime's chain capture never
+sees them.
+
+Why this graph suffices for auditing.  Dynamic chains are unbounded
+under recursion, but the trace/predictor key space uses *cycle-pruned*
+chains (:func:`repro.core.sites.prune_recursive_cycles`, the paper's
+gprof-style fold).  Two facts make pruned chains checkable edge-by-edge:
+
+1. every consecutive pair of a pruned chain is a consecutive pair of the
+   raw chain (when the fold truncates back to an earlier occurrence of
+   ``f``, the element appended next was dynamically called with ``f``
+   innermost — so the pair survives pruning verbatim);
+2. every raw consecutive pair is, by construction of the runtime, a
+   traced caller reaching a traced callee through zero or more untraced
+   frames — i.e. an edge of the projected graph, if the static call
+   resolution over-approximates the dynamic one.
+
+So ``chain is feasible  ⇐  chain[0] == "main" and every adjacent pair is
+a projected edge`` — no exhaustive chain enumeration needed, which is
+what keeps the audit immune to the exponential path blow-up recursion
+would otherwise cause.  (Full enumeration of *simple* paths is still
+offered, bounded, for the static site database.)
+
+Call resolution is deliberately over-approximate in the safe direction:
+an impossible static edge merely yields "unexercised" noise in reports,
+while a missing real edge would produce a false "dead site" audit
+failure.  Dynamic dispatch (operator tables, allocator callbacks) is
+covered by the *escaping callables* rule: any function reference that
+appears outside call position may be invoked by any call the resolver
+cannot pin down.
+
+Allocation sizes are folded from module constants where possible, with a
+one-level interprocedural flow for the C ``xmalloc`` wrapper idiom the
+workloads reproduce (``make_relation`` → ``xalloc(RELATION_STRUCT_SIZE)``
+→ ``malloc(size)``); anything unfoldable becomes the ``None`` wildcard,
+which ``covers`` treats as matching every size — again the safe
+direction.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.sites import prune_recursive_cycles
+from repro.runtime.stackcap import CAPTURE_DEPTH
+from repro.static.astwalk import (
+    CallSite,
+    FuncUnit,
+    ModuleIndex,
+    index_module,
+)
+
+__all__ = [
+    "ProgramGraph",
+    "StaticAnalysisError",
+    "build_program_graph",
+    "workload_scope_files",
+    "default_source_root",
+    "ROOT_CONTEXT",
+    "SIZE_WILDCARD",
+]
+
+#: The chain root every :class:`~repro.runtime.heap.TracedHeap` starts
+#: with (``base.Workload.trace`` uses the default root).
+ROOT_CONTEXT = "main"
+
+#: Alloc size recorded when folding fails: matches any dynamic size.
+SIZE_WILDCARD: Optional[int] = None
+
+#: Shared workload-support modules included in every program's scope.
+_SHARED_MODULES = ("base.py", "inputs.py", "regexlite.py")
+
+#: Bare-name calls resolving to a Python builtin are chain no-ops.
+_BUILTIN_NAMES = frozenset(dir(builtins)) | {"super"}
+
+#: Method names that, when they match no function defined in the program
+#: scope, are assumed to be builtin container/str/random methods rather
+#: than dynamic dispatch.  Consulted only after name lookup fails, so a
+#: workload method with one of these names always wins.
+_NOOP_METHODS = frozenset({
+    # list / dict / set
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse", "get", "items", "keys", "values", "setdefault", "update",
+    "popitem", "add", "discard", "union", "intersection", "difference",
+    # str / bytes
+    "join", "split", "rsplit", "splitlines", "strip", "rstrip", "lstrip",
+    "startswith", "endswith", "lower", "upper", "title", "replace",
+    "format", "format_map", "encode", "decode", "find", "rfind", "index",
+    "rindex", "count", "isdigit", "isalpha", "isalnum", "isspace",
+    "islower", "isupper", "zfill", "ljust", "rjust", "center",
+    "casefold", "partition", "rpartition", "translate", "maketrans",
+    # random.Random
+    "randint", "random", "choice", "choices", "shuffle", "seed",
+    "uniform", "sample", "gauss", "randrange", "getrandbits",
+    # int / misc
+    "bit_length", "to_bytes", "from_bytes", "copysign", "as_integer_ratio",
+    # TracedHeap API that does not push chain frames
+    "free", "touch", "finish", "payload_of", "non_heap_refs",
+})
+
+#: Folded arithmetic for size expressions.
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+}
+
+
+class StaticAnalysisError(Exception):
+    """Raised when the workload sources cannot be analyzed at all."""
+
+
+@dataclass
+class ProgramGraph:
+    """The projected traced-call graph of one workload program.
+
+    ``edges`` maps each context (traced function name, or ``"main"``) to
+    the set of contexts that can appear directly after it on a chain.
+    ``alloc_sizes`` maps ``(caller_ctx, ctx)`` to the folded allocation
+    sizes attributable to ``ctx`` when entered from ``caller_ctx`` (the
+    pseudo-caller ``""`` marks root-context allocations); a
+    :data:`SIZE_WILDCARD` member means "any size".
+    """
+
+    program: str
+    files: Tuple[str, ...]
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    alloc_sizes: Dict[Tuple[str, str], Set[Optional[int]]] = field(
+        default_factory=dict
+    )
+    #: Calls the resolver could not pin down (fell back to escaping
+    #: callables) — diagnostics for tuning, listed in verbose reports.
+    unresolved: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    # -- queries -------------------------------------------------------
+
+    def contexts(self) -> List[str]:
+        """All chain contexts, sorted, root first."""
+        names: Set[str] = {ROOT_CONTEXT}
+        for src, dsts in self.edges.items():
+            names.add(src)
+            names.update(dsts)
+        return [ROOT_CONTEXT] + sorted(names - {ROOT_CONTEXT})
+
+    def context_sizes(self, ctx: str) -> FrozenSet[Optional[int]]:
+        """Sizes allocatable in ``ctx``, over every way of entering it."""
+        out: Set[Optional[int]] = set()
+        for (_, target), sizes in self.alloc_sizes.items():
+            if target == ctx:
+                out.update(sizes)
+        return frozenset(out)
+
+    def allocating_contexts(self) -> Set[str]:
+        return {ctx for (_, ctx) in self.alloc_sizes}
+
+    def covers(self, chain: Iterable[str], size: int) -> bool:
+        """Is the dynamic site ``(chain, size)`` statically feasible?
+
+        The chain is cycle-pruned first (the trace/DB key space), then
+        checked edge-by-edge against the projected graph; the size is
+        checked against the union of the final context's alloc sizes
+        (any entry edge — recursion folding can reroute the formal last
+        edge, so per-edge size matching would be unsound here).
+        """
+        pruned = prune_recursive_cycles(tuple(chain))
+        if not pruned or pruned[0] != ROOT_CONTEXT:
+            return False
+        for src, dst in zip(pruned, pruned[1:]):
+            if dst not in self.edges.get(src, ()):
+                return False
+        sizes = self.context_sizes(pruned[-1])
+        if not sizes:
+            return False
+        return SIZE_WILDCARD in sizes or size in sizes
+
+    def enumerate_sites(
+        self,
+        max_sites: int = 50_000,
+        depth: int = CAPTURE_DEPTH,
+    ) -> Tuple[List[Tuple[Tuple[str, ...], Optional[int]]], bool]:
+        """All feasible (simple-path chain, size) sites, deterministically.
+
+        Pruned dynamic chains are simple paths of the projected graph (see
+        module docstring), so simple-path enumeration loses nothing the
+        key space can express.  Returns ``(sites, truncated)`` — when the
+        ``max_sites`` cap or the depth bound cuts the walk short,
+        ``truncated`` is ``True`` and consumers must not treat absence
+        from the list as infeasibility (``covers`` stays exact).
+        """
+        # Restrict the walk to nodes that can still reach an allocation.
+        reaches: Set[str] = set(self.allocating_contexts())
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in self.edges.items():
+                if src not in reaches and dsts & reaches:
+                    reaches.add(src)
+                    changed = True
+        sites: List[Tuple[Tuple[str, ...], Optional[int]]] = []
+        truncated = False
+
+        def walk(path: List[str], on_path: Set[str]) -> None:
+            nonlocal truncated
+            if truncated:
+                return
+            node = path[-1]
+            caller = path[-2] if len(path) > 1 else ""
+            sizes = self.alloc_sizes.get((caller, node))
+            if sizes:
+                chain = tuple(path)
+                ordered = sorted(
+                    sizes, key=lambda s: (-1 if s is None else s)
+                )
+                for size in ordered:
+                    if len(sites) >= max_sites:
+                        truncated = True
+                        return
+                    sites.append((chain, size))
+            if len(path) >= depth:
+                if any(
+                    dst in reaches and dst not in on_path
+                    for dst in self.edges.get(node, ())
+                ):
+                    truncated = True
+                return
+            for dst in sorted(self.edges.get(node, ())):
+                if dst in reaches and dst not in on_path:
+                    path.append(dst)
+                    on_path.add(dst)
+                    walk(path, on_path)
+                    on_path.discard(dst)
+                    path.pop()
+
+        if ROOT_CONTEXT in reaches or self.alloc_sizes:
+            walk([ROOT_CONTEXT], {ROOT_CONTEXT})
+        return sites, truncated
+
+
+# ---------------------------------------------------------------------------
+# scope discovery
+
+
+def default_source_root() -> Path:
+    """The ``src`` directory the running ``repro`` package was loaded from."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def workload_scope_files(program: str, source_root: Path) -> List[Path]:
+    """The source files making up one program's analysis scope.
+
+    The program's package plus the shared workload-support modules; the
+    registry and ``__init__`` re-export shims carry no program code and
+    are excluded.
+    """
+    workloads = Path(source_root) / "repro" / "workloads"
+    pkg = workloads / program
+    if not pkg.is_dir():
+        raise StaticAnalysisError(
+            f"no workload package for {program!r} under {workloads}"
+        )
+    files = [
+        p for p in sorted(pkg.glob("*.py")) if p.name != "__init__.py"
+    ]
+    for shared in _SHARED_MODULES:
+        path = workloads / shared
+        if path.is_file():
+            files.append(path)
+    return files
+
+
+# ---------------------------------------------------------------------------
+# resolution + projection
+
+
+class _Scope:
+    """Cross-module name resolution over one program's files."""
+
+    def __init__(self, program: str, modules: Dict[str, ModuleIndex]):
+        self.program = program
+        self.modules = modules
+        self.units: Dict[str, FuncUnit] = {}
+        self.unit_module: Dict[str, ModuleIndex] = {}
+        self.name_to_units: Dict[str, List[str]] = {}
+        #: class name -> list of (module, methods-dict); unioned when two
+        #: modules define the same class name.
+        self.classes: Dict[str, List[Tuple[ModuleIndex, Dict[str, str]]]] = {}
+        self.by_dotted: Dict[str, ModuleIndex] = {}
+        for path in sorted(modules):
+            index = modules[path]
+            dotted = path[:-3].replace("/", ".") if path.endswith(".py") else path
+            self.by_dotted[dotted] = index
+            for unit_id in sorted(index.units):
+                unit = index.units[unit_id]
+                self.units[unit_id] = unit
+                self.unit_module[unit_id] = index
+                if not unit.is_frame and unit.name != "<lambda>":
+                    self.name_to_units.setdefault(unit.name, []).append(
+                        unit_id
+                    )
+            for cls in sorted(index.classes):
+                self.classes.setdefault(cls, []).append(
+                    (index, index.classes[cls])
+                )
+        self.escape_targets = self._collect_escape_targets()
+
+    def _collect_escape_targets(self) -> List[str]:
+        targets: Set[str] = set()
+        for unit in self.units.values():
+            for esc in unit.escapes:
+                if esc in self.units:
+                    targets.add(esc)
+                else:
+                    for unit_id in self.name_to_units.get(esc, ()):
+                        targets.add(unit_id)
+        return sorted(targets)
+
+    # -- class helpers -------------------------------------------------
+
+    def _class_method(self, cls: str, method: str) -> List[str]:
+        """Resolve ``Cls.method`` through the (syntactic) base chain."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        queue = [cls]
+        while queue:
+            name = queue.pop(0)
+            if name in seen or name not in self.classes:
+                continue
+            seen.add(name)
+            found = False
+            for index, methods in self.classes[name]:
+                if method in methods:
+                    out.append(methods[method])
+                    found = True
+            if not found:
+                for index, _ in self.classes[name]:
+                    queue.extend(index.class_bases.get(name, ()))
+        return out
+
+    def class_init(self, cls: str) -> List[str]:
+        return self._class_method(cls, "__init__")
+
+    # -- call resolution ----------------------------------------------
+
+    def resolve(
+        self, unit: FuncUnit, call: CallSite
+    ) -> Tuple[List[str], bool]:
+        """Targets of ``call`` from ``unit``; second value marks the
+        escaping-callables fallback (for diagnostics)."""
+        if call.kind == "frame":
+            return [call.name], False
+        if call.kind == "dynamic":
+            return list(self.escape_targets), True
+        module = self.unit_module[unit.unit_id]
+        if call.kind == "name":
+            name = call.name
+            if name in self.classes:
+                return self.class_init(name), False
+            if name in self.name_to_units:
+                return list(self.name_to_units[name]), False
+            origin = module.import_from.get(name)
+            if origin is not None:
+                target = self.by_dotted.get(origin[0])
+                if target is None:
+                    return [], False  # import from outside the scope
+                if origin[1] in target.classes:
+                    return self.class_init(origin[1]), False
+                return [], False
+            if name in _BUILTIN_NAMES:
+                return [], False
+            return list(self.escape_targets), True
+        # attribute call
+        base, name = call.base, call.name
+        if base == "super" and unit.cls is not None:
+            for index, _ in self.classes.get(unit.cls, ()):
+                for parent in index.class_bases.get(unit.cls, ()):
+                    found = self._class_method(parent, name)
+                    if found:
+                        return found, False
+            return [], False
+        if base is not None:
+            dotted = module.import_module.get(base)
+            if dotted is not None:
+                target = self.by_dotted.get(dotted)
+                if target is None:
+                    return [], False  # stdlib module call
+                unit_ids = [
+                    uid
+                    for uid in sorted(target.units)
+                    if target.units[uid].name == name
+                    and target.units[uid].cls is None
+                ]
+                if unit_ids:
+                    return unit_ids, False
+                if name in target.classes:
+                    return self.class_init(name), False
+                return [], False
+            if base in self.classes:
+                found = self._class_method(base, name)
+                if found:
+                    return found, False
+            if base in ("self", "cls") and unit.cls is not None:
+                found = self._class_method(unit.cls, name)
+                if found:
+                    return found, False
+        if name in self.name_to_units:
+            return list(self.name_to_units[name]), False
+        if name in _NOOP_METHODS:
+            return [], False
+        return list(self.escape_targets), True
+
+    # -- constant folding ---------------------------------------------
+
+    def fold(
+        self,
+        expr: Optional[ast.expr],
+        module: ModuleIndex,
+        bindings: Dict[str, int],
+        _depth: int = 0,
+    ) -> Optional[int]:
+        """Fold ``expr`` to an int, or :data:`SIZE_WILDCARD`."""
+        if expr is None or _depth > 16:
+            return SIZE_WILDCARD
+        if isinstance(expr, ast.Constant):
+            return expr.value if isinstance(expr.value, int) else SIZE_WILDCARD
+        if isinstance(expr, ast.Name):
+            if expr.id in bindings:
+                return bindings[expr.id]
+            const = module.const_exprs.get(expr.id)
+            if const is not None:
+                return self.fold(const, module, {}, _depth + 1)
+            origin = module.import_from.get(expr.id)
+            if origin is not None:
+                target = self.by_dotted.get(origin[0])
+                if target is not None:
+                    const = target.const_exprs.get(origin[1])
+                    if const is not None:
+                        return self.fold(const, target, {}, _depth + 1)
+            return SIZE_WILDCARD
+        if isinstance(expr, ast.BinOp):
+            op = _BINOPS.get(type(expr.op))
+            left = self.fold(expr.left, module, bindings, _depth + 1)
+            right = self.fold(expr.right, module, bindings, _depth + 1)
+            if op is None or left is None or right is None:
+                return SIZE_WILDCARD
+            try:
+                return op(left, right)
+            except (ZeroDivisionError, ValueError, OverflowError):
+                return SIZE_WILDCARD
+        if isinstance(expr, ast.UnaryOp):
+            value = self.fold(expr.operand, module, bindings, _depth + 1)
+            if value is None:
+                return SIZE_WILDCARD
+            if isinstance(expr.op, ast.USub):
+                return -value
+            if isinstance(expr.op, ast.UAdd):
+                return value
+            return SIZE_WILDCARD
+        return SIZE_WILDCARD
+
+
+class _Projector:
+    """Builds the projected graph by transparent closure over the scope."""
+
+    def __init__(self, scope: _Scope, graph: ProgramGraph):
+        self.scope = scope
+        self.graph = graph
+        self._seen: Set[Tuple[str, str, Tuple[Tuple[str, int], ...]]] = set()
+
+    @staticmethod
+    def _bind_key(bindings: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(bindings.items()))
+
+    def _bindings_for(
+        self,
+        target: FuncUnit,
+        call: Optional[CallSite],
+        args: List[Optional[int]],
+    ) -> Dict[str, int]:
+        """Map folded positional argument values onto ``target``'s params.
+
+        Bound-method and constructor calls skip the leading ``self``;
+        escape-entered and dynamic calls pass no bindings at all (their
+        argument alignment is unknowable), which degrades to the safe
+        wildcard rather than a wrong constant.
+        """
+        if call is None or call.kind in ("dynamic", "frame"):
+            return {}
+        params = list(target.params)
+        if target.cls is not None and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        out: Dict[str, int] = {}
+        for param, value in zip(params, args):
+            if value is not None:
+                out[param] = value
+        return out
+
+    def enter_context(
+        self, ctx: str, caller_ctx: str, unit: FuncUnit, bindings: Dict[str, int]
+    ) -> None:
+        """Record everything context ``ctx`` can do when entered from
+        ``caller_ctx`` with the given parameter bindings, closing over
+        untraced callees and queueing crossings into traced ones."""
+        key = (caller_ctx, unit.unit_id, self._bind_key(bindings))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._close(ctx, caller_ctx, unit, bindings, depth=0, visited=set())
+
+    def _close(
+        self,
+        ctx: str,
+        caller_ctx: str,
+        unit: FuncUnit,
+        bindings: Dict[str, int],
+        depth: int,
+        visited: Set[Tuple[str, Tuple[Tuple[str, int], ...]]],
+    ) -> None:
+        vkey = (unit.unit_id, self._bind_key(bindings))
+        if vkey in visited or depth > CAPTURE_DEPTH:
+            return
+        visited.add(vkey)
+        module = self.scope.unit_module[unit.unit_id]
+        for alloc in unit.allocs:
+            size = self.scope.fold(alloc.size_expr, module, bindings)
+            self.graph.alloc_sizes.setdefault((caller_ctx, ctx), set()).add(
+                size
+            )
+        for call in unit.calls:
+            targets, fell_back = self.scope.resolve(unit, call)
+            if fell_back:
+                self.graph.unresolved.append(
+                    (unit.unit_id, call.name or "<dynamic>", call.line)
+                )
+            arg_values: Optional[List[Optional[int]]] = None
+            for target_id in targets:
+                target = self.scope.units.get(target_id)
+                if target is None:
+                    continue
+                if arg_values is None:
+                    arg_values = [
+                        self.scope.fold(a, module, bindings)
+                        for a in call.arg_exprs
+                    ]
+                tb = self._bindings_for(
+                    target, call if not fell_back else None, arg_values
+                )
+                if target.traced:
+                    self.graph.edges.setdefault(ctx, set()).add(target.name)
+                    self.enter_context(target.name, ctx, target, tb)
+                else:
+                    self._close(
+                        ctx, caller_ctx, target, tb, depth + 1, visited
+                    )
+            # Callable arguments may be invoked by the receiver from this
+            # same dynamic context: add direct edges/closure for them.
+            for ref in call.callable_args:
+                for target_id in self._ref_targets(ref):
+                    target = self.scope.units[target_id]
+                    if target.traced:
+                        self.graph.edges.setdefault(ctx, set()).add(
+                            target.name
+                        )
+                        self.enter_context(target.name, ctx, target, {})
+                    else:
+                        self._close(
+                            ctx, caller_ctx, target, {}, depth + 1, visited
+                        )
+
+    def _ref_targets(self, ref: str) -> List[str]:
+        if ref in self.scope.units:
+            return [ref]
+        return list(self.scope.name_to_units.get(ref, ()))
+
+
+def _find_workload_class(
+    program: str, scope: _Scope
+) -> Tuple[ModuleIndex, str]:
+    for path in sorted(scope.modules):
+        index = scope.modules[path]
+        for cls, attr in sorted(index.class_name_attr.items()):
+            if attr == program:
+                return index, cls
+    raise StaticAnalysisError(
+        f"no workload class with name = {program!r} found in scope"
+    )
+
+
+def build_program_graph(
+    program: str, source_root: Optional[Path] = None
+) -> ProgramGraph:
+    """Analyze one program's sources into a :class:`ProgramGraph`.
+
+    ``source_root`` is the directory containing the ``repro`` package
+    (defaults to the running installation) — the audit drift tests point
+    it at mutated copies of the tree.
+    """
+    root = Path(source_root) if source_root is not None else default_source_root()
+    files = workload_scope_files(program, root)
+    modules: Dict[str, ModuleIndex] = {}
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StaticAnalysisError(f"cannot read {path}: {exc}") from exc
+        try:
+            modules[rel] = index_module(rel, source)
+        except SyntaxError as exc:
+            raise StaticAnalysisError(
+                f"cannot parse {rel}: {exc}"
+            ) from exc
+    scope = _Scope(program, modules)
+    index, cls = _find_workload_class(program, scope)
+    graph = ProgramGraph(
+        program=program,
+        files=tuple(sorted(modules)),
+    )
+    projector = _Projector(scope, graph)
+    # The runtime harness (Workload.trace) instantiates the class and
+    # calls run() with only the root context on the chain stack.
+    entries: List[str] = []
+    entries.extend(scope.class_init(cls))
+    entries.extend(scope._class_method(cls, "run"))
+    for unit_id in entries:
+        unit = scope.units[unit_id]
+        if unit.traced:
+            graph.edges.setdefault(ROOT_CONTEXT, set()).add(unit.name)
+            projector.enter_context(unit.name, ROOT_CONTEXT, unit, {})
+        else:
+            projector.enter_context(ROOT_CONTEXT, "", unit, {})
+    graph.unresolved = sorted(set(graph.unresolved))
+    return graph

@@ -1,0 +1,499 @@
+"""Alloclint: contract rules for the reproduction's source tree.
+
+The reproduction rests on a handful of conventions that nothing used to
+enforce mechanically.  Each rule guards one of them:
+
+``R001`` **untraced-heap** (workloads) — workload code must allocate
+    from the heap it was handed, never construct its own
+    ``TracedHeap``/``StackTracedHeap``; a second heap's objects bypass
+    the trace that makes the workload a faithful stand-in for the
+    paper's C programs.  The single sanctioned construction site is the
+    framework harness (``workloads/base.py``), which carries a pragma.
+
+``R002`` **alloc-without-free** (everywhere) — an allocation bound to a
+    local that is neither freed nor escapes the function is a leak in
+    the modelled heap: the object can never be freed, so it skews every
+    lifetime statistic downstream.  Intraprocedural heuristic: uses are
+    classified as *freeing* (passed to a ``free``-named callee),
+    *neutral* (``touch``, attribute access), or *escaping* (returned,
+    stored, passed along); a local with no freeing and no escaping use
+    trips the rule.
+
+``R003`` **nondeterminism** (``analysis``/``bench``/``core``/``static``)
+    — the pipeline modules promise byte-identical outputs, so
+    wall-clock reads (``time.time``, ``datetime.now``, …) and unseeded
+    module-level randomness (``random.random``, ``uuid.uuid4``,
+    ``os.urandom``, ``secrets``) are banned there.  Duration clocks
+    (``perf_counter``, ``monotonic``) and seeded ``random.Random``
+    instances are fine.  Deliberate wall-clock use (bench provenance
+    stamps) carries a pragma.
+
+``R004`` **chain-degrading-wrapper** (workloads) — a function that
+    calls ``malloc``/``realloc`` directly but is not ``@traced`` is an
+    allocation wrapper layer invisible to chain capture; the paper's
+    central finding is that unresolved wrapper layers make sites
+    indistinguishable (§4), so every allocating function in a workload
+    must push its frame.  Lambdas can never be traced, hence any
+    allocation inside one trips the rule.
+
+Findings on a line containing ``# alloclint: disable=RXXX[,RYYY]`` are
+suppressed (and counted).  Severities are configurable per rule; the
+run fails (exit 1) when any finding at or above the fail level remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.static.astwalk import ALLOC_METHODS, index_module
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "DEFAULT_SEVERITIES",
+    "SEVERITY_LEVELS",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Rule id -> one-line description (SARIF rule metadata).
+RULES: Dict[str, str] = {
+    "R001": "workload constructs its own traced heap instead of using "
+            "the injected one",
+    "R002": "allocated object is neither freed nor escapes the function",
+    "R003": "wall-clock or unseeded randomness in a deterministic "
+            "pipeline module",
+    "R004": "allocation wrapper is invisible to chain capture "
+            "(not @traced)",
+}
+
+DEFAULT_SEVERITIES: Dict[str, str] = {
+    "R001": "error",
+    "R002": "warning",
+    "R003": "error",
+    "R004": "warning",
+}
+
+SEVERITY_LEVELS: Dict[str, int] = {"info": 0, "warning": 1, "error": 2}
+
+_PRAGMA = re.compile(r"#\s*alloclint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Module-path fragments selecting each rule's scope.
+_WORKLOAD_SCOPE = "repro/workloads/"
+_DETERMINISTIC_SCOPES = (
+    "repro/analysis/",
+    "repro/bench/",
+    "repro/core/",
+    "repro/static/",
+)
+
+_HEAP_CLASSES = ("TracedHeap", "StackTracedHeap")
+
+#: Banned callables for R003, as fully-resolved dotted names.
+_BANNED_EXACT = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+_BANNED_RANDOM = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, position-stable and deterministic."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Severity and failure configuration for a lint run."""
+
+    severities: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SEVERITIES)
+    )
+    fail_level: str = "warning"
+
+    def severity_of(self, rule: str) -> str:
+        return self.severities.get(rule, DEFAULT_SEVERITIES.get(rule, "warning"))
+
+    def fails(self, finding: Finding) -> bool:
+        return (
+            SEVERITY_LEVELS[finding.severity]
+            >= SEVERITY_LEVELS[self.fail_level]
+        )
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of a lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    errors: List[str] = field(default_factory=list)
+    files: int = 0
+
+    def failing(self, config: LintConfig) -> List[Finding]:
+        return [f for f in self.findings if config.fails(f)]
+
+    def to_dict(self, config: LintConfig) -> Dict[str, object]:
+        return {
+            "tool": "alloclint",
+            "rules": {rule: RULES[rule] for rule in sorted(RULES)},
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "errors": list(self.errors),
+            "failing": len(self.failing(config)),
+        }
+
+
+# ---------------------------------------------------------------------------
+# pragma handling
+
+
+def _pragma_lines(source: str) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match:
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            out[lineno] = rules
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R001 — untraced heap construction in workloads
+
+
+def _check_heap_construction(
+    path: str, tree: ast.Module
+) -> List[Tuple[str, int, int, str]]:
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _HEAP_CLASSES:
+            found.append((
+                "R001",
+                node.lineno,
+                node.col_offset,
+                f"workload code constructs {name}; allocate from the "
+                f"injected heap so every object stays on one trace",
+            ))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# R002 — alloc-without-free leak heuristic
+
+
+def _is_alloc_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ALLOC_METHODS
+    )
+
+
+class _UseClassifier(ast.NodeVisitor):
+    """Classify every Load of tracked locals as freeing/neutral/escaping."""
+
+    def __init__(self, tracked: Set[str]):
+        self.tracked = tracked
+        self.freed: Set[str] = set()
+        self.escaped: Set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        callee = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else ""
+        )
+        freeing = "free" in callee.lower()
+        neutral = callee in ("touch",)
+        # x.free() / x.release(): the receiver itself is being freed.
+        if freeing and isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ) and func.value.id in self.tracked:
+            self.freed.add(func.value.id)
+        else:
+            self.visit(func)
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in self.tracked:
+                if freeing:
+                    self.freed.add(arg.id)
+                elif not neutral:
+                    self.escaped.add(arg.id)
+            else:
+                self.visit(arg)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # x.payload / x.size reads don't leak the object anywhere.
+        if isinstance(node.value, ast.Name) and node.value.id in self.tracked:
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and node.id in self.tracked:
+            self.escaped.add(node.id)
+
+
+def _check_leaks(
+    path: str, tree: ast.Module
+) -> List[Tuple[str, int, int, str]]:
+    found = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        tracked: Dict[str, Tuple[int, int]] = {}
+        discarded: List[Tuple[int, int]] = []
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_alloc_call(node.value)
+            ):
+                tracked.setdefault(
+                    node.targets[0].id, (node.lineno, node.col_offset)
+                )
+            elif isinstance(node, ast.Expr) and _is_alloc_call(node.value):
+                discarded.append((node.lineno, node.col_offset))
+        for line, col in discarded:
+            found.append((
+                "R002", line, col,
+                "allocation result is discarded: the object can never be "
+                "freed",
+            ))
+        if not tracked:
+            continue
+        classifier = _UseClassifier(set(tracked))
+        for stmt in fn.body:
+            classifier.visit(stmt)
+        for name in sorted(tracked):
+            if name in classifier.freed or name in classifier.escaped:
+                continue
+            line, col = tracked[name]
+            found.append((
+                "R002", line, col,
+                f"allocated object {name!r} is neither freed nor escapes "
+                f"this function (leak in the modelled heap)",
+            ))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# R003 — nondeterminism in pipeline modules
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _check_nondeterminism(
+    path: str, tree: ast.Module
+) -> List[Tuple[str, int, int, str]]:
+    module_alias: Dict[str, str] = {}
+    from_alias: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module_alias[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                from_alias[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        if head in module_alias:
+            real = module_alias[head] + ("." + rest if rest else "")
+        elif head in from_alias:
+            real = from_alias[head] + ("." + rest if rest else "")
+        else:
+            real = dotted
+        banned = real in _BANNED_EXACT or real.startswith("secrets.")
+        if not banned and real.startswith("random."):
+            banned = real[len("random."):] in _BANNED_RANDOM
+        if banned:
+            found.append((
+                "R003", node.lineno, node.col_offset,
+                f"nondeterministic call {real}() in a deterministic "
+                f"pipeline module; inject the value or use a seeded "
+                f"random.Random",
+            ))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# R004 — chain-degrading allocation wrappers
+
+
+def _check_untraced_wrappers(
+    path: str, source: str
+) -> List[Tuple[str, int, int, str]]:
+    index = index_module(path, source)
+    found = []
+    for unit_id in sorted(index.units):
+        unit = index.units[unit_id]
+        if not unit.allocs or unit.traced:
+            continue
+        for alloc in unit.allocs:
+            if unit.name == "<lambda>":
+                message = (
+                    "allocation inside a lambda: lambda frames cannot be "
+                    "@traced, so this wrapper layer is invisible in call "
+                    "chains"
+                )
+            else:
+                message = (
+                    f"function {unit.name!r} calls {alloc.kind}() but is "
+                    f"not @traced; this wrapper layer will be missing "
+                    f"from every captured chain (degraded sites)"
+                )
+            found.append(("R004", alloc.line, alloc.col, message))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one module; returns (findings, suppressed count).
+
+    ``path`` should be a posix-style repo path — rule scoping keys off
+    path fragments like ``repro/workloads/``.
+
+    Raises :class:`SyntaxError` when the module does not parse.
+    """
+    config = config or LintConfig()
+    tree = ast.parse(source, filename=path)
+    raw: List[Tuple[str, int, int, str]] = []
+    in_workloads = _WORKLOAD_SCOPE in path
+    if in_workloads:
+        raw.extend(_check_heap_construction(path, tree))
+        raw.extend(_check_untraced_wrappers(path, source))
+    raw.extend(_check_leaks(path, tree))
+    if any(scope in path for scope in _DETERMINISTIC_SCOPES):
+        raw.extend(_check_nondeterminism(path, tree))
+    pragmas = _pragma_lines(source)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule, line, col, message in raw:
+        if rule in pragmas.get(line, ()):
+            suppressed += 1
+            continue
+        findings.append(Finding(
+            rule=rule,
+            severity=config.severity_of(rule),
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        ))
+    findings.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """(file, display label) pairs, deterministic order, label as given."""
+    out: List[Tuple[Path, str]] = []
+    for arg in paths:
+        arg = Path(arg)
+        if arg.is_dir():
+            for file in sorted(arg.rglob("*.py")):
+                rel = file.relative_to(arg).as_posix()
+                prefix = arg.as_posix()
+                label = rel if prefix == "." else f"{prefix}/{rel}"
+                out.append((file, label))
+        else:
+            out.append((arg, arg.as_posix()))
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    config = config or LintConfig()
+    result = LintResult()
+    for file, label in _collect_files(paths):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.errors.append(f"{label}: cannot read: {exc}")
+            continue
+        try:
+            findings, suppressed = lint_source(label, source, config)
+        except SyntaxError as exc:
+            result.errors.append(f"{label}: cannot parse: {exc.msg} "
+                                 f"(line {exc.lineno})")
+            continue
+        result.files += 1
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+    result.findings.sort(key=Finding.sort_key)
+    return result

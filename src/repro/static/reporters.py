@@ -1,0 +1,197 @@
+"""Deterministic reporters for lint findings and site audits.
+
+All three lint formats (text, JSON, SARIF 2.1.0) and both audit formats
+(text, JSON) are pure functions of their inputs: no timestamps, no
+absolute paths, sorted keys and entries throughout — so two runs over
+the same tree produce byte-identical reports, which both the CI gates
+and the determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.static.audit import SiteAudit
+from repro.static.lint import (
+    DEFAULT_SEVERITIES,
+    RULES,
+    LintConfig,
+    LintResult,
+)
+
+__all__ = [
+    "render_lint_text",
+    "render_lint_json",
+    "render_lint_sarif",
+    "render_audit_text",
+    "render_audit_json",
+    "SARIF_VERSION",
+]
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: alloclint severity -> SARIF result level.
+_SARIF_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def _dumps(payload: object) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# lint
+
+
+def render_lint_text(result: LintResult, config: LintConfig) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    failing = len(result.failing(config))
+    lines.append(
+        f"alloclint: {result.files} files, {len(result.findings)} findings "
+        f"({failing} failing), {result.suppressed} suppressed"
+        + (f", {len(result.errors)} errors" if result.errors else "")
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_lint_json(result: LintResult, config: LintConfig) -> str:
+    return _dumps(result.to_dict(config))
+
+
+def render_lint_sarif(result: LintResult, config: LintConfig) -> str:
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULES[rule]},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[
+                    DEFAULT_SEVERITIES.get(rule, "warning")
+                ]
+            },
+        }
+        for rule in sorted(RULES)
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    for error in result.errors:
+        results.append({
+            "ruleId": "E000",
+            "level": "error",
+            "message": {"text": error},
+        })
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "alloclint",
+                        "informationUri": (
+                            "https://example.invalid/repro-alloc/alloclint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return _dumps(payload)
+
+
+# ---------------------------------------------------------------------------
+# audit
+
+
+def _chain_str(chain: Sequence[str]) -> str:
+    return " > ".join(chain)
+
+
+def render_audit_text(
+    audits: Sequence[SiteAudit],
+    max_unexercised: Optional[int] = None,
+) -> str:
+    lines: List[str] = []
+    for audit in audits:
+        static_extra = " (truncated)" if audit.truncated else ""
+        lines.append(
+            f"{audit.program} [{audit.source}]: "
+            f"{audit.static_sites} static sites{static_extra} over "
+            f"{audit.static_contexts} contexts, "
+            f"{audit.dynamic_sites} dynamic sites"
+        )
+        for entry in audit.dead:
+            objects = entry.get("objects")
+            count = "" if objects is None else f" ({objects} objects)"
+            lines.append(
+                f"  DEAD    {_chain_str(entry['chain'])} "
+                f"size={entry['size']}{count}"
+            )
+        shown = audit.unexercised
+        if max_unexercised is not None:
+            shown = shown[:max_unexercised]
+        for entry in shown:
+            size = entry["size"]
+            size_str = "*" if size is None else str(size)
+            lines.append(
+                f"  unexercised  {_chain_str(entry['chain'])} "
+                f"size={size_str}"
+            )
+        hidden = len(audit.unexercised) - len(shown)
+        if hidden:
+            lines.append(f"  ... +{hidden} more unexercised")
+        coll = audit.dynamic_collisions
+        if coll:
+            lines.append(
+                f"  cce: {coll['colliding_chains']}/{coll['chains']} dynamic "
+                f"chains collide ({audit.static_collision_groups} static "
+                f"groups, {audit.unverified_collisions} unverified)"
+            )
+        lines.append(
+            f"  result: {'ok' if audit.ok else 'DRIFT'} "
+            f"({len(audit.dead)} dead, "
+            f"{len(audit.unexercised)} unexercised)"
+        )
+    drifted = sum(1 for audit in audits if not audit.ok)
+    lines.append(
+        f"audit-sites: {len(audits)} audits, {drifted} with drift"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_audit_json(audits: Sequence[SiteAudit]) -> str:
+    payload: Dict[str, object] = {
+        "tool": "audit-sites",
+        "audits": [audit.to_dict() for audit in audits],
+        "drift": sum(1 for audit in audits if not audit.ok),
+    }
+    return _dumps(payload)

@@ -1,0 +1,269 @@
+"""The static allocation-site database.
+
+Serializes the result of :mod:`repro.static.callgraph` into the same
+``(chain, size-class)`` key space the dynamic pipeline uses
+(:mod:`repro.core.sites`, :mod:`repro.core.database`): a chain is a list
+of traced function names rooted at ``"main"``, a size is an exact byte
+count — or ``null``, the static wildcard for sizes that depend on
+runtime values.  The database carries three layers:
+
+* the **projected graph** (edges + per-edge alloc sizes), which is what
+  :meth:`StaticSiteDB.covers` consults — exact even when enumeration is
+  truncated;
+* the **enumerated sites**, bounded simple-path chains for reporting and
+  the golden-file tests;
+* the **static CCE collision groups** — chains whose
+  :func:`repro.core.cce.encrypt_chain` keys coincide, the compile-time
+  analysis §5.1 of the paper says id assignment should perform.
+
+The JSON is deterministic: no timestamps, sorted keys, sorted entries —
+two runs over the same tree are byte-identical, which the CI audit job
+and golden tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.cce import KEY_BITS, encrypt_chain
+from repro.core.sites import prune_recursive_cycles
+from repro.runtime.stackcap import CAPTURE_DEPTH
+from repro.static.callgraph import (
+    ProgramGraph,
+    ROOT_CONTEXT,
+    SIZE_WILDCARD,
+    build_program_graph,
+)
+
+__all__ = [
+    "StaticSiteDB",
+    "StaticDBFormatError",
+    "build_static_db",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]
+
+FORMAT_NAME = "repro-static-sites"
+FORMAT_VERSION = 1
+
+#: Default cap on enumerated sites; the five workloads stay well under.
+DEFAULT_MAX_SITES = 50_000
+
+
+class StaticDBFormatError(ValueError):
+    """Raised for malformed static-site database files."""
+
+
+def _size_sort_key(size: Optional[int]) -> Tuple[int, int]:
+    return (0, 0) if size is None else (1, size)
+
+
+@dataclass
+class StaticSiteDB:
+    """Static allocation sites + feasibility graph for one program."""
+
+    program: str
+    capture_depth: int
+    root: str
+    files: Tuple[str, ...]
+    edges: Dict[str, Set[str]]
+    alloc_sizes: Dict[Tuple[str, str], Set[Optional[int]]]
+    sites: List[Tuple[Tuple[str, ...], Optional[int]]]
+    truncated: bool
+    unresolved_calls: int = 0
+    collisions: List[Dict[str, object]] = field(default_factory=list)
+
+    # -- queries -------------------------------------------------------
+
+    def contexts(self) -> List[str]:
+        names: Set[str] = {self.root}
+        for src, dsts in self.edges.items():
+            names.add(src)
+            names.update(dsts)
+        return [self.root] + sorted(names - {self.root})
+
+    def context_sizes(self, ctx: str) -> Set[Optional[int]]:
+        out: Set[Optional[int]] = set()
+        for (_, target), sizes in self.alloc_sizes.items():
+            if target == ctx:
+                out.update(sizes)
+        return out
+
+    def covers(self, chain: Iterable[str], size: int) -> bool:
+        """Is the dynamic ``(chain, size)`` site feasible in this DB?
+
+        Chains are cycle-pruned into the key space first; feasibility is
+        the edge-by-edge check of :meth:`ProgramGraph.covers`, so it
+        remains exact even when :attr:`truncated` is set.
+        """
+        pruned = prune_recursive_cycles(tuple(chain))
+        if not pruned or pruned[0] != self.root:
+            return False
+        for src, dst in zip(pruned, pruned[1:]):
+            if dst not in self.edges.get(src, ()):
+                return False
+        sizes = self.context_sizes(pruned[-1])
+        if not sizes:
+            return False
+        return SIZE_WILDCARD in sizes or size in sizes
+
+    def matches_site(self, chain: Tuple[str, ...], size: int) -> bool:
+        """Does any enumerated static site match this dynamic site?"""
+        for static_chain, static_size in self.sites:
+            if static_chain == chain and (
+                static_size is None or static_size == size
+            ):
+                return True
+        return False
+
+    def static_chains(self) -> List[Tuple[str, ...]]:
+        """Distinct enumerated chains, in site order."""
+        seen: Set[Tuple[str, ...]] = set()
+        out: List[Tuple[str, ...]] = []
+        for chain, _ in self.sites:
+            if chain not in seen:
+                seen.add(chain)
+                out.append(chain)
+        return out
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "program": self.program,
+            "capture_depth": self.capture_depth,
+            "root": self.root,
+            "files": list(self.files),
+            "contexts": self.contexts(),
+            "edges": [
+                [src, dst]
+                for src in sorted(self.edges)
+                for dst in sorted(self.edges[src])
+            ],
+            "alloc_sizes": [
+                {
+                    "caller": caller,
+                    "context": ctx,
+                    "sizes": sorted(
+                        self.alloc_sizes[(caller, ctx)], key=_size_sort_key
+                    ),
+                }
+                for caller, ctx in sorted(self.alloc_sizes)
+            ],
+            "sites": [
+                {"chain": list(chain), "size": size}
+                for chain, size in self.sites
+            ],
+            "truncated": self.truncated,
+            "unresolved_calls": self.unresolved_calls,
+            "cce": {
+                "key_bits": KEY_BITS,
+                "collision_groups": self.collisions,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StaticSiteDB":
+        if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+            raise StaticDBFormatError(
+                f"not a {FORMAT_NAME} database (format="
+                f"{data.get('format') if isinstance(data, dict) else data!r})"
+            )
+        if data.get("version") != FORMAT_VERSION:
+            raise StaticDBFormatError(
+                f"unsupported {FORMAT_NAME} version {data.get('version')!r}"
+            )
+        try:
+            edges: Dict[str, Set[str]] = {}
+            for src, dst in data["edges"]:
+                edges.setdefault(src, set()).add(dst)
+            alloc_sizes: Dict[Tuple[str, str], Set[Optional[int]]] = {}
+            for entry in data["alloc_sizes"]:
+                alloc_sizes[(entry["caller"], entry["context"])] = set(
+                    entry["sizes"]
+                )
+            sites = [
+                (tuple(site["chain"]), site["size"])
+                for site in data["sites"]
+            ]
+            return cls(
+                program=data["program"],
+                capture_depth=data["capture_depth"],
+                root=data["root"],
+                files=tuple(data["files"]),
+                edges=edges,
+                alloc_sizes=alloc_sizes,
+                sites=sites,
+                truncated=bool(data["truncated"]),
+                unresolved_calls=int(data.get("unresolved_calls", 0)),
+                collisions=list(data.get("cce", {}).get(
+                    "collision_groups", []
+                )),
+            )
+        except (KeyError, TypeError) as exc:
+            raise StaticDBFormatError(
+                f"malformed {FORMAT_NAME} database: {exc}"
+            ) from exc
+
+    @classmethod
+    def load(cls, path: Path) -> "StaticSiteDB":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StaticDBFormatError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _collision_groups(
+    chains: Iterable[Tuple[str, ...]]
+) -> List[Dict[str, object]]:
+    """Chains grouped by CCE key, keeping only the colliding groups."""
+    buckets: Dict[int, List[Tuple[str, ...]]] = {}
+    for chain in chains:
+        buckets.setdefault(encrypt_chain(chain), []).append(chain)
+    groups = []
+    for key in sorted(buckets):
+        group = sorted(set(buckets[key]))
+        if len(group) > 1:
+            groups.append({
+                "key": key,
+                "chains": [list(chain) for chain in group],
+            })
+    return groups
+
+
+def build_static_db(
+    program: str,
+    source_root: Optional[Path] = None,
+    max_sites: int = DEFAULT_MAX_SITES,
+) -> StaticSiteDB:
+    """Run the static analysis for ``program`` and package the result."""
+    graph: ProgramGraph = build_program_graph(program, source_root)
+    sites, truncated = graph.enumerate_sites(max_sites=max_sites)
+    sites = sorted(
+        sites, key=lambda item: (item[0], _size_sort_key(item[1]))
+    )
+    db = StaticSiteDB(
+        program=program,
+        capture_depth=CAPTURE_DEPTH,
+        root=ROOT_CONTEXT,
+        files=graph.files,
+        edges=graph.edges,
+        alloc_sizes=graph.alloc_sizes,
+        sites=sites,
+        truncated=truncated,
+        unresolved_calls=len(graph.unresolved),
+    )
+    db.collisions = _collision_groups(db.static_chains())
+    return db

@@ -93,7 +93,9 @@ class Workload:
         doubles trace size).
         """
         cls.dataset_spec(dataset)
-        heap = TracedHeap(program=cls.name, dataset=dataset,
+        # The framework harness is the one sanctioned heap-construction
+        # site: workload code itself must use the injected self.heap.
+        heap = TracedHeap(program=cls.name, dataset=dataset,  # alloclint: disable=R001
                           record_touches=record_touches)
         instance = cls(heap)
         instance.run(dataset, scale=scale)

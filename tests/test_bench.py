@@ -385,6 +385,31 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "0001" in out and "scale" in out
 
+    def test_history_json(self, bench_env, capsys):
+        assert main(bench_env["run_args"]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "history", "--json",
+            "--bench-dir", str(bench_env["bench_dir"]),
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [entry["seq"] for entry in doc] == [1]
+        entry = doc[0]
+        assert entry["scale"] == 0.02
+        assert entry["benchmarks"] > 0
+        assert entry["total_wall_seconds"] > 0
+        assert set(entry) == {
+            "seq", "git_sha", "scale", "benchmarks",
+            "total_wall_seconds", "created_at",
+        }
+
+    def test_history_json_empty(self, tmp_path, capsys):
+        assert main([
+            "bench", "history", "--json",
+            "--bench-dir", str(tmp_path / "none"),
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
     def test_bad_env_scale_reports_variable(self, tmp_path, capsys,
                                             monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "junk")

@@ -1,0 +1,456 @@
+"""Tests for the static analysis subsystem (:mod:`repro.static`).
+
+Covers the four layers the ISSUE names: the static site extractor
+(golden-file + coverage against real traces), the alloclint rule engine
+(one fixture per rule, pragma suppression), the trace-drift auditor
+(a mutated workload copy must produce dead and unexercised sites), and
+the CLI exit-code contract (0 clean / 1 findings / 2 error) with
+byte-deterministic reporters.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.sites import prune_recursive_cycles
+from repro.static import StaticSiteDB, audit_trace, build_static_db
+from repro.static.lint import LintConfig, lint_source
+from repro.static.reporters import render_audit_text
+
+GOLDEN = Path(__file__).parent / "data" / "cfrac_static_sites.json"
+SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# static extraction
+
+
+class TestStaticExtraction:
+    def test_cfrac_matches_golden_db_bytes(self):
+        db = build_static_db("cfrac")
+        assert db.to_json() == GOLDEN.read_text(encoding="utf-8")
+
+    def test_golden_roundtrip(self):
+        db = StaticSiteDB.load(GOLDEN)
+        assert db.program == "cfrac"
+        assert db.root == "main"
+        assert not db.truncated
+        assert db.unresolved_calls == 0
+        # Every enumerated site is feasible in its own graph.
+        for chain, size in db.sites:
+            assert db.covers(chain, size if size is not None else 24)
+
+    def test_covers_every_dynamic_cfrac_site(self, cfrac_tiny):
+        db = StaticSiteDB.load(GOLDEN)
+        trace = cfrac_tiny
+        for obj_id in range(trace.total_objects):
+            chain = trace.chain_of(obj_id)
+            size = trace.size_of(obj_id)
+            assert db.covers(chain, size), (chain, size)
+
+    def test_covers_rejects_unknown_chain(self):
+        db = StaticSiteDB.load(GOLDEN)
+        assert not db.covers(("main", "no_such_fn", "xalloc"), 24)
+        assert not db.covers(("not_main", "xalloc"), 24)
+
+    def test_sites_are_rooted_pruned_and_sorted(self):
+        db = StaticSiteDB.load(GOLDEN)
+        assert db.sites == sorted(
+            db.sites,
+            key=lambda item: (
+                item[0],
+                (0, 0) if item[1] is None else (1, item[1]),
+            ),
+        )
+        for chain, _ in db.sites:
+            assert chain[0] == "main"
+            assert prune_recursive_cycles(chain) == chain
+
+    @pytest.mark.parametrize("program,unresolved", [
+        ("espresso", 0), ("gawk", 2), ("ghost", 2), ("perl", 3),
+    ])
+    def test_all_programs_build_and_resolution_does_not_degrade(
+        self, program, unresolved
+    ):
+        # The handful of unresolved calls are the callable-indirection
+        # idioms (injected alloc callbacks like regexlite's
+        # ``state_alloc``), which the escape fallback covers; growing
+        # this count means the resolver regressed.
+        db = build_static_db(program)
+        assert db.unresolved_calls == unresolved
+        assert not db.truncated
+        assert db.sites
+
+
+# ---------------------------------------------------------------------------
+# alloclint rules
+
+
+WORKLOAD_PATH = "src/repro/workloads/fake/work.py"
+PIPELINE_PATH = "src/repro/analysis/fake.py"
+NEUTRAL_PATH = "src/repro/obs/fake.py"
+
+
+class TestLintRules:
+    def test_r001_untraced_heap_in_workload(self):
+        source = (
+            "from repro.runtime.heap import TracedHeap\n"
+            "def run():\n"
+            "    heap = TracedHeap(program='x', dataset='y')\n"
+            "    return heap\n"
+        )
+        findings, _ = lint_source(WORKLOAD_PATH, source)
+        assert [f.rule for f in findings] == ["R001"]
+        assert findings[0].line == 3
+
+    def test_r001_scoped_to_workloads(self):
+        source = "heap = TracedHeap(program='x', dataset='y')\n"
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert findings == []
+
+    def test_r002_leaked_local(self):
+        source = (
+            "def leak(self):\n"
+            "    obj = self.heap.malloc(16)\n"
+            "    obj.payload = 1\n"
+        )
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert [f.rule for f in findings] == ["R002"]
+        assert "'obj'" in findings[0].message
+
+    def test_r002_discarded_allocation(self):
+        source = "def drop(self):\n    self.heap.malloc(8)\n"
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert [f.rule for f in findings] == ["R002"]
+        assert "discarded" in findings[0].message
+
+    def test_r002_freed_escaped_and_touched_are_clean(self):
+        source = (
+            "def fine(self):\n"
+            "    a = self.heap.malloc(16)\n"
+            "    self.heap.free(a)\n"
+            "    b = self.heap.malloc(16)\n"
+            "    self.keep.append(b)\n"
+            "    c = self.heap.malloc(16)\n"
+            "    return c\n"
+        )
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert findings == []
+
+    def test_r003_wall_clock_in_pipeline_module(self):
+        source = "import time\ndef stamp():\n    return time.time()\n"
+        findings, _ = lint_source(PIPELINE_PATH, source)
+        assert [f.rule for f in findings] == ["R003"]
+        assert "time.time()" in findings[0].message
+
+    def test_r003_resolves_from_import_aliases(self):
+        source = (
+            "from random import choice as pick\n"
+            "def roll(xs):\n"
+            "    return pick(xs)\n"
+        )
+        findings, _ = lint_source(PIPELINE_PATH, source)
+        assert [f.rule for f in findings] == ["R003"]
+        assert "random.choice()" in findings[0].message
+
+    def test_r003_seeded_random_and_monotonic_are_fine(self):
+        source = (
+            "import random\nimport time\n"
+            "def ok(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random(), time.perf_counter()\n"
+        )
+        findings, _ = lint_source(PIPELINE_PATH, source)
+        assert findings == []
+
+    def test_r003_scoped_to_pipeline_modules(self):
+        source = "import time\ndef stamp():\n    return time.time()\n"
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert findings == []
+
+    def test_r004_untraced_wrapper(self):
+        source = (
+            "class W:\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)\n"
+        )
+        findings, _ = lint_source(WORKLOAD_PATH, source)
+        assert [f.rule for f in findings] == ["R004"]
+        assert "'xalloc'" in findings[0].message
+
+    def test_r004_traced_wrapper_is_clean(self):
+        source = (
+            "class W:\n"
+            "    @traced\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)\n"
+        )
+        findings, _ = lint_source(WORKLOAD_PATH, source)
+        assert findings == []
+
+    def test_r004_lambda_allocation(self):
+        source = (
+            "class W:\n"
+            "    def build(self):\n"
+            "        return (lambda: self.heap.malloc(8))()\n"
+        )
+        findings, _ = lint_source(WORKLOAD_PATH, source)
+        assert [f.rule for f in findings] == ["R004"]
+        assert "lambda" in findings[0].message
+
+    def test_pragma_suppresses_and_counts(self):
+        source = (
+            "class W:\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)"
+            "  # alloclint: disable=R004\n"
+        )
+        findings, suppressed = lint_source(WORKLOAD_PATH, source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_pragma_is_per_rule(self):
+        source = (
+            "class W:\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)"
+            "  # alloclint: disable=R002\n"
+        )
+        findings, suppressed = lint_source(WORKLOAD_PATH, source)
+        assert [f.rule for f in findings] == ["R004"]
+        assert suppressed == 0
+
+    def test_severity_override(self):
+        config = LintConfig(severities={"R004": "info"})
+        source = (
+            "class W:\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)\n"
+        )
+        findings, _ = lint_source(WORKLOAD_PATH, source, config)
+        assert findings[0].severity == "info"
+        assert not config.fails(findings[0])
+
+
+# ---------------------------------------------------------------------------
+# drift auditing
+
+
+@pytest.fixture()
+def mutated_cfrac_root(tmp_path):
+    """A copy of the workload sources with cfrac drifted two ways.
+
+    ``record_result`` loses its ``@traced`` decorator (dynamic chains
+    through it become statically infeasible → dead sites) and a new
+    traced ``phantom_site`` wrapper is called from ``run`` (statically
+    feasible but never executed → unexercised site).
+    """
+    workloads = SRC_ROOT / "repro" / "workloads"
+    target = tmp_path / "repro" / "workloads"
+    target.mkdir(parents=True)
+    for shared in ("base.py", "inputs.py", "regexlite.py"):
+        shutil.copy(workloads / shared, target / shared)
+    (target / "cfrac").mkdir()
+    for file in (workloads / "cfrac").glob("*.py"):
+        shutil.copy(file, target / "cfrac" / file.name)
+    cfrac = target / "cfrac" / "cfrac.py"
+    source = cfrac.read_text(encoding="utf-8")
+    assert "    @traced\n    def record_result" in source
+    source = source.replace(
+        "    @traced\n    def record_result",
+        "    @traced\n"
+        "    def phantom_site(self) -> None:\n"
+        "        self.heap.malloc(8)\n"
+        "\n"
+        "    def record_result",
+    )
+    source = source.replace(
+        "self.record_result(n, factor)",
+        "self.record_result(n, factor)\n            self.phantom_site()",
+    )
+    cfrac.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+class TestAudit:
+    def test_real_tree_has_no_drift(self, cfrac_tiny):
+        db = StaticSiteDB.load(GOLDEN)
+        audit = audit_trace(db, cfrac_tiny, "tiny")
+        assert audit.ok
+        assert audit.dead == []
+        assert audit.unverified_collisions == 0
+
+    def test_mutated_source_reports_dead_and_unexercised(
+        self, mutated_cfrac_root, cfrac_tiny
+    ):
+        db = build_static_db("cfrac", source_root=mutated_cfrac_root)
+        audit = audit_trace(db, cfrac_tiny, "tiny")
+        assert not audit.ok
+        dead_chains = {tuple(entry["chain"]) for entry in audit.dead}
+        assert any("record_result" in chain for chain in dead_chains)
+        unexercised = {
+            tuple(entry["chain"]) for entry in audit.unexercised
+        }
+        assert ("main", "phantom_site") in unexercised
+        # The report renders and counts the drift.
+        text = render_audit_text([audit])
+        assert "DEAD" in text
+        assert "1 with drift" in text
+
+    def test_audit_text_truncates_unexercised(
+        self, mutated_cfrac_root, cfrac_tiny
+    ):
+        db = build_static_db("cfrac", source_root=mutated_cfrac_root)
+        audit = audit_trace(db, cfrac_tiny, "tiny")
+        full = render_audit_text([audit])
+        capped = render_audit_text([audit], max_unexercised=0)
+        assert "unexercised  " in full
+        assert "unexercised  " not in capped
+        assert f"+{len(audit.unexercised)} more unexercised" in capped
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+@pytest.fixture()
+def lint_fixture_dir(tmp_path):
+    pkg = tmp_path / "fixture" / "repro" / "workloads" / "fake"
+    pkg.mkdir(parents=True)
+    (pkg / "work.py").write_text(
+        "class W:\n"
+        "    def xalloc(self, n):\n"
+        "        return self.heap.malloc(n)\n",
+        encoding="utf-8",
+    )
+    return tmp_path / "fixture"
+
+
+class TestCli:
+    def test_lint_shipped_tree_is_clean(self, capsys):
+        assert main(["lint", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        assert "suppressed" in out
+
+    def test_lint_reports_are_byte_deterministic(self, capsys):
+        outputs = []
+        for _ in range(2):
+            assert main(["lint", "src", "--format", "sarif"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        doc = json.loads(outputs[0])
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "alloclint"
+
+    def test_lint_findings_exit_1(self, lint_fixture_dir, capsys):
+        assert main(["lint", str(lint_fixture_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out
+
+    def test_lint_fail_level_gates(self, lint_fixture_dir):
+        assert main([
+            "lint", str(lint_fixture_dir), "--fail-level", "error",
+        ]) == 0
+        assert main([
+            "lint", str(lint_fixture_dir),
+            "--severity", "R004=error",
+        ]) == 1
+
+    def test_lint_bad_severity_spec_exit_2(self, lint_fixture_dir, capsys):
+        assert main([
+            "lint", str(lint_fixture_dir), "--severity", "R004=loud",
+        ]) == 2
+        assert "severity" in capsys.readouterr().err
+
+    def test_lint_syntax_error_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().out
+
+    def test_lint_output_and_sarif_out(self, lint_fixture_dir, tmp_path,
+                                       capsys):
+        report = tmp_path / "out" / "lint.json"
+        sarif = tmp_path / "out" / "lint.sarif"
+        assert main([
+            "lint", str(lint_fixture_dir), "--format", "json",
+            "-o", str(report), "--sarif-out", str(sarif),
+        ]) == 1
+        assert json.loads(report.read_text())["tool"] == "alloclint"
+        assert json.loads(sarif.read_text())["version"] == "2.1.0"
+        assert capsys.readouterr().out == ""
+
+    def test_audit_sites_clean_and_json(self, tmp_path, capsys):
+        args = [
+            "audit-sites", "--programs", "cfrac",
+            "--dataset", "tiny", "--scale", "1.0",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        assert "0 with drift" in capsys.readouterr().out
+        assert main(args + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["drift"] == 0
+        assert doc["audits"][0]["program"] == "cfrac"
+        assert doc["audits"][0]["ok"] is True
+
+    def test_audit_sites_detects_drift_exit_1(
+        self, mutated_cfrac_root, tmp_path, capsys
+    ):
+        assert main([
+            "audit-sites", "--programs", "cfrac",
+            "--dataset", "tiny", "--scale", "1.0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--source-root", str(mutated_cfrac_root),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "DEAD" in out
+        assert "1 with drift" in out
+
+    def test_audit_sites_static_out_matches_golden(self, tmp_path, capsys):
+        out = tmp_path / "static" / "cfrac.json"
+        assert main([
+            "audit-sites", "--programs", "cfrac",
+            "--dataset", "tiny", "--scale", "1.0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--static-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert out.read_text(encoding="utf-8") == GOLDEN.read_text(
+            encoding="utf-8"
+        )
+
+    def test_audit_sites_predictor_db(self, tmp_path, cfrac_tiny, capsys):
+        from repro.core.database import save_predictor
+        from repro.core.predictor import train_site_predictor
+
+        db_path = tmp_path / "cfrac.sites"
+        save_predictor(train_site_predictor(cfrac_tiny), db_path)
+        assert main(["audit-sites", "--sites-db", str(db_path)]) == 0
+        assert "0 with drift" in capsys.readouterr().out
+
+    def test_audit_sites_missing_db_exit_2(self, tmp_path, capsys):
+        assert main([
+            "audit-sites", "--sites-db", str(tmp_path / "nope.sites"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_audit_sites_wrong_program_db_exit_2(self, tmp_path,
+                                                 cfrac_tiny, capsys):
+        from repro.core.database import save_predictor
+        from repro.core.predictor import train_site_predictor
+
+        db_path = tmp_path / "cfrac.sites"
+        save_predictor(train_site_predictor(cfrac_tiny), db_path)
+        assert main([
+            "audit-sites", "--sites-db", str(db_path),
+            "--programs", "gawk",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
