@@ -45,6 +45,7 @@ from repro.core.predictor import (
 )
 from repro.core.sites import FULL_CHAIN
 from repro.runtime.events import Trace
+from repro.runtime.stream.protocol import EventSource, TraceEventSource
 from repro.workloads.registry import PROGRAM_ORDER, run_workload
 
 __all__ = ["TraceStore", "WarmResult", "EVAL_DATASET", "TRAIN_DATASET"]
@@ -103,6 +104,14 @@ class TraceStore:
     ``~/.cache/repro-alloc``) unless ``use_cache=False`` or
     ``REPRO_NO_CACHE`` is set.  Timings and hit/miss counts go to
     ``metrics`` (the process-wide default when omitted).
+
+    With ``streaming=True`` the store hands consumers
+    :class:`~repro.runtime.stream.protocol.EventSource` views that replay
+    the cached v3 files chunk by chunk (see :meth:`source`) instead of
+    retaining materialized traces, keeping the whole pipeline's footprint
+    at O(live objects + one chunk) per execution.  :meth:`trace` still
+    materializes on demand for the few consumers that need random access
+    (e.g. the oracle simulation).
     """
 
     def __init__(
@@ -113,8 +122,10 @@ class TraceStore:
         cache_dir: Union[str, None] = None,
         use_cache: bool = True,
         metrics: Optional[Metrics] = None,
+        streaming: bool = False,
     ):
         self.scale = scale
+        self.streaming = streaming
         self._metrics = metrics if metrics is not None else METRICS
         if cache is not None:
             self._cache: Optional[TraceCache] = cache
@@ -158,6 +169,37 @@ class TraceStore:
             self._traces[key] = trace
         return self._traces[key]
 
+    def source(self, program: str, dataset: str = EVAL_DATASET) -> EventSource:
+        """An event-stream view of one workload execution.
+
+        In the default (materialized) mode this wraps :meth:`trace`, so it
+        costs nothing beyond that call.  In streaming mode the resolution
+        order mirrors :meth:`trace` but never materializes: a trace
+        already in this store's memory is wrapped; otherwise the disk
+        cache's v3 entry is opened as a chunked file stream; on a miss the
+        workload runs once, publishes its trace to the cache, and the
+        *file* is streamed back rather than the run's trace being
+        retained.  Only with the cache disabled does streaming mode fall
+        back to wrapping the in-memory run (without retaining it).
+        """
+        key = (program, dataset)
+        if not self.streaming or key in self._traces:
+            return TraceEventSource(self.trace(program, dataset))
+        if self._cache is not None:
+            source = self._cache.open_stream(program, dataset, self.scale)
+            if source is not None:
+                return source
+        with TRACER.span("workload.run", cat="workload", program=program,
+                         dataset=dataset, scale=self.scale), \
+                self._metrics.stage("workload.run"):
+            trace = run_workload(program, dataset, scale=self.scale)
+        if self._cache is not None:
+            self._cache.store(trace, self.scale)
+            source = self._cache.open_stream(program, dataset, self.scale)
+            if source is not None:
+                return source
+        return TraceEventSource(trace)
+
     def predictor(
         self,
         program: str,
@@ -169,11 +211,11 @@ class TraceStore:
         """A (cached) site predictor trained on one execution."""
         key = (program, train_dataset, threshold, chain_length, size_rounding)
         if key not in self._site_predictors:
-            trace = self.trace(program, train_dataset)
+            source = self.source(program, train_dataset)
             with TRACER.span("predictor.train", cat="core",
                              program=program, dataset=train_dataset):
                 self._site_predictors[key] = train_site_predictor(
-                    trace,
+                    source,
                     threshold=threshold,
                     chain_length=chain_length,
                     size_rounding=size_rounding,
@@ -190,7 +232,7 @@ class TraceStore:
         key = (program, train_dataset, threshold)
         if key not in self._cce_predictors:
             self._cce_predictors[key] = train_cce_predictor(
-                self.trace(program, train_dataset), threshold=threshold
+                self.source(program, train_dataset), threshold=threshold
             )
         return self._cce_predictors[key]
 

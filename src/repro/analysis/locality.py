@@ -25,7 +25,7 @@ workloads' buffers and arrays).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.alloc.base import Allocator
 from repro.alloc.cache import CacheConfig, SetAssociativeCache
@@ -34,6 +34,12 @@ from repro.alloc.arena import ArenaAllocator
 from repro.alloc.bsd import BsdAllocator
 from repro.alloc.firstfit import FirstFitAllocator
 from repro.runtime.events import Trace
+from repro.runtime.stream.protocol import (
+    EV_ALLOC,
+    EV_FREE,
+    EventSource,
+    as_event_source,
+)
 
 __all__ = [
     "LocalityResult",
@@ -80,40 +86,48 @@ class LocalityResult:
 
 
 def measure_locality(
-    trace: Trace,
+    trace: Union[Trace, EventSource],
     allocator: Allocator,
     config: Optional[CacheConfig] = None,
     region_boundary: int = 0,
 ) -> LocalityResult:
-    """Replay ``trace``'s reference timeline under ``allocator``'s placement.
+    """Replay a trace's reference timeline under ``allocator``'s placement.
 
     The trace must have been recorded with ``record_touches=True``
     (otherwise only allocation/free references exist and the comparison
     is meaningless); a :class:`ValueError` guards against that mistake.
+
+    Streams the event protocol: alloc events carry their own size and
+    chain, so the per-object working set is the live-address/cursor maps.
     """
-    if not trace.has_touch_events:
+    source = as_event_source(trace)
+    header = source.header
+    if not header.has_touch_events:
         raise ValueError(
             "trace has no touch events; re-run the workload with "
             "record_touches=True"
         )
+    chain_of = header.chains.chain
     cache = SetAssociativeCache(config)
     addresses: Dict[int, int] = {}
     cursors: Dict[int, int] = {}
-    sizes = {}
+    sizes: Dict[int, int] = {}
     in_region = 0
-    for kind, obj_id, count in trace.full_events():
-        if kind == "alloc":
-            addr = allocator.malloc(trace.size_of(obj_id),
-                                    trace.chain_of(obj_id))
+    for ev in source.events():
+        tag = ev[0]
+        obj_id = ev[1]
+        if tag == EV_ALLOC:
+            size = ev[3]
+            addr = allocator.malloc(size, chain_of(ev[2]))
             addresses[obj_id] = addr
-            sizes[obj_id] = trace.size_of(obj_id)
+            sizes[obj_id] = size
             cursors[obj_id] = 0
             before = cache.accesses
             # Allocation initializes the object.
-            cache.access_range(addr, sizes[obj_id])
+            cache.access_range(addr, size)
             if addr < region_boundary:
                 in_region += cache.accesses - before
-        elif kind == "free":
+        elif tag == EV_FREE:
             addr = addresses.pop(obj_id)
             cache.access(addr)  # header read on free
             if addr < region_boundary:
@@ -125,6 +139,7 @@ def measure_locality(
             addr = addresses.get(obj_id)
             if addr is None:
                 continue  # touched after the tracer saw the free (no-op)
+            count = ev[2]
             size = sizes[obj_id]
             offset = cursors[obj_id]
             before = cache.accesses
@@ -135,7 +150,7 @@ def measure_locality(
             cursors[obj_id] = (offset + count * WORD) % max(size, 1)
     return LocalityResult(
         allocator=allocator.name,
-        program=trace.program,
+        program=header.program,
         accesses=cache.accesses,
         misses=cache.misses,
         in_region=in_region,
@@ -143,7 +158,7 @@ def measure_locality(
 
 
 def compare_locality(
-    trace: Trace,
+    trace: Union[Trace, EventSource],
     predictor: LifetimePredictor,
     config: Optional[CacheConfig] = None,
     prefragment_holes: int = 0,
@@ -158,6 +173,7 @@ def compare_locality(
     land all over the fragmented expanse, while the arena allocator keeps
     them inside its 64 KB area.
     """
+    source = as_event_source(trace)
     firstfit = FirstFitAllocator()
     bsd = BsdAllocator()
     arena = ArenaAllocator(predictor)
@@ -166,10 +182,10 @@ def compare_locality(
         prefragment(bsd, holes=prefragment_holes)
         prefragment(arena, holes=prefragment_holes)
     return {
-        "first-fit": measure_locality(trace, firstfit, config),
-        "bsd": measure_locality(trace, bsd, config),
+        "first-fit": measure_locality(source, firstfit, config),
+        "bsd": measure_locality(source, bsd, config),
         "arena": measure_locality(
-            trace, arena, config, region_boundary=arena.arena_area_size
+            source, arena, config, region_boundary=arena.arena_area_size
         ),
     }
 

@@ -13,7 +13,7 @@ need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.alloc.arena import (
     DEFAULT_ARENA_SIZE,
@@ -34,6 +34,12 @@ from repro.alloc.firstfit import FirstFitAllocator
 from repro.core.predictor import LifetimePredictor
 from repro.obs.spans import TRACER
 from repro.runtime.events import Trace
+from repro.runtime.stream.protocol import (
+    EV_FREE,
+    EV_TOUCH,
+    EventSource,
+    as_event_source,
+)
 
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
@@ -87,10 +93,17 @@ class SimulationResult:
         return _pct(self.arena_bytes, self.total_bytes)
 
 
-def replay(trace: Trace, allocator: Allocator,
+def replay(trace: Union[Trace, EventSource], allocator: Allocator,
            check_invariants: bool = False,
            telemetry: Optional["Telemetry"] = None) -> None:
-    """Drive ``allocator`` with the trace's event sequence.
+    """Drive ``allocator`` with a trace's event sequence.
+
+    ``trace`` is an in-memory :class:`Trace` or any
+    :class:`~repro.runtime.stream.protocol.EventSource` (e.g. a v3 trace
+    file opened with :func:`~repro.runtime.tracefile.open_trace_stream`);
+    replay memory is the source's — for a streamed file, the live
+    address map plus one chunk.  Alloc events carry their own size and
+    chain id, so the loop never consults an object table.
 
     With ``check_invariants`` the allocator is audited after every 4096
     events — slow, used by the integration tests.
@@ -102,26 +115,26 @@ def replay(trace: Trace, allocator: Allocator,
     untouched — with ``telemetry=None`` (the default) this function is
     byte-for-byte the uninstrumented hot path.
     """
+    source = as_event_source(trace)
+    header = source.header
     if telemetry is not None:
         telemetry.attach(
-            allocator, program=trace.program, dataset=trace.dataset
+            allocator, program=header.program, dataset=header.dataset
         )
     with TRACER.span("simulate.replay", cat="simulate",
-                     allocator=allocator.name, program=trace.program,
-                     dataset=trace.dataset):
+                     allocator=allocator.name, program=header.program,
+                     dataset=header.dataset):
+        chain_of = header.chains.chain
         addresses = {}
         step = 0
-        for code in trace.raw_arrays()["events"]:
-            tag = code & 3
-            if tag == 2:  # touch events carry no allocator work
+        for ev in source.events():
+            tag = ev[0]
+            if tag == EV_TOUCH:  # touch events carry no allocator work
                 continue
-            obj_id = code >> 2
-            if tag == 1:
-                allocator.free(addresses.pop(obj_id))
+            if tag == EV_FREE:
+                allocator.free(addresses.pop(ev[1]))
             else:
-                addresses[obj_id] = allocator.malloc(
-                    trace.size_of(obj_id), trace.chain_of(obj_id)
-                )
+                addresses[ev[1]] = allocator.malloc(ev[3], chain_of(ev[2]))
             step += 1
             if check_invariants and step % 4096 == 0:
                 allocator.check_invariants()
@@ -132,16 +145,17 @@ def replay(trace: Trace, allocator: Allocator,
 
 
 def simulate_firstfit(
-    trace: Trace, model: CostModel = DEFAULT_COST_MODEL,
+    trace: Union[Trace, EventSource], model: CostModel = DEFAULT_COST_MODEL,
     telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the Knuth first-fit baseline."""
+    source = as_event_source(trace)
     allocator = FirstFitAllocator()
-    replay(trace, allocator, telemetry=telemetry)
+    replay(source, allocator, telemetry=telemetry)
     return SimulationResult(
         allocator="first-fit",
-        program=trace.program,
-        dataset=trace.dataset,
+        program=source.header.program,
+        dataset=source.header.dataset,
         max_heap_size=allocator.max_heap_size,
         final_live_bytes=allocator.live_bytes,
         ops=allocator.ops.snapshot(),
@@ -150,16 +164,17 @@ def simulate_firstfit(
 
 
 def simulate_bsd(
-    trace: Trace, model: CostModel = DEFAULT_COST_MODEL,
+    trace: Union[Trace, EventSource], model: CostModel = DEFAULT_COST_MODEL,
     telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the BSD power-of-two baseline."""
+    source = as_event_source(trace)
     allocator = BsdAllocator()
-    replay(trace, allocator, telemetry=telemetry)
+    replay(source, allocator, telemetry=telemetry)
     return SimulationResult(
         allocator="bsd",
-        program=trace.program,
-        dataset=trace.dataset,
+        program=source.header.program,
+        dataset=source.header.dataset,
         max_heap_size=allocator.max_heap_size,
         final_live_bytes=allocator.live_bytes,
         ops=allocator.ops.snapshot(),
@@ -168,7 +183,7 @@ def simulate_bsd(
 
 
 def simulate_arena(
-    trace: Trace,
+    trace: Union[Trace, EventSource],
     predictor: LifetimePredictor,
     num_arenas: int = DEFAULT_NUM_ARENAS,
     arena_size: int = DEFAULT_ARENA_SIZE,
@@ -182,21 +197,22 @@ def simulate_arena(
     ``"cce"``); it does not change placement, matching the paper, where
     both Table 9 arena columns describe the same allocation behaviour.
     """
+    source = as_event_source(trace)
     allocator = ArenaAllocator(
         predictor, num_arenas=num_arenas, arena_size=arena_size
     )
-    replay(trace, allocator, telemetry=telemetry)
+    replay(source, allocator, telemetry=telemetry)
     cost = arena_cost(
         allocator.ops,
         allocator.general.ops,
         strategy=strategy,
-        total_calls=trace.total_calls,
+        total_calls=source.summary.total_calls,
         model=model,
     )
     return SimulationResult(
         allocator=f"arena ({strategy})",
-        program=trace.program,
-        dataset=trace.dataset,
+        program=source.header.program,
+        dataset=source.header.dataset,
         max_heap_size=allocator.max_heap_size,
         final_live_bytes=allocator.live_bytes,
         ops=allocator.ops.snapshot(),

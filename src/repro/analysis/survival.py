@@ -18,9 +18,14 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
 from repro.runtime.events import Trace
+from repro.runtime.stream.protocol import (
+    EventSource,
+    as_event_source,
+    iter_object_lifetimes,
+)
 
 __all__ = ["SurvivalCurve", "survival_curve", "DEFAULT_AGES"]
 
@@ -70,32 +75,39 @@ class SurvivalCurve:
 
 
 def survival_curve(
-    trace: Trace, ages: Sequence[int] = DEFAULT_AGES
+    trace: Union[Trace, EventSource], ages: Sequence[int] = DEFAULT_AGES
 ) -> SurvivalCurve:
     """Compute the exact byte survival curve of ``trace`` at ``ages``.
 
     ``ages`` must be strictly increasing.  Unfreed objects follow the
     trace convention (they die at program exit).
+
+    Single-pass: each object's bytes fall into the age bucket of its
+    lifetime and the curve is a prefix sum over buckets, so a streamed
+    trace never needs the sorted lifetime list the old implementation
+    built (the bucket sums are the same integers, hence the same curve).
     """
     age_list = list(ages)
     if not age_list or age_list != sorted(set(age_list)):
         raise ValueError(f"ages must be strictly increasing, got {ages}")
-    lifetimes: List[Tuple[int, int]] = sorted(
-        (trace.lifetime_of(obj_id), trace.size_of(obj_id))
-        for obj_id in range(trace.total_objects)
-    )
-    total = trace.total_bytes
+    source = as_event_source(trace)
+    # buckets[i] = bytes of objects dead before age_list[i] but not
+    # before age_list[i-1]; the last bucket (lifetime >= all ages) never
+    # counts as dead.
+    buckets = [0] * (len(age_list) + 1)
+    total = 0
+    for _, size, lifetime, _ in iter_object_lifetimes(source):
+        total += size
+        buckets[bisect_right(age_list, lifetime)] += size
     surviving: List[float] = []
-    index = 0
     dead_bytes = 0
-    for age in age_list:
-        while index < len(lifetimes) and lifetimes[index][0] < age:
-            dead_bytes += lifetimes[index][1]
-            index += 1
+    for index in range(len(age_list)):
+        dead_bytes += buckets[index]
         surviving.append((total - dead_bytes) / total if total else 0.0)
+    header = source.header
     return SurvivalCurve(
-        program=trace.program,
-        dataset=trace.dataset,
+        program=header.program,
+        dataset=header.dataset,
         total_bytes=total,
         ages=tuple(age_list),
         surviving=tuple(surviving),

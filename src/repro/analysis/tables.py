@@ -13,7 +13,7 @@ side-by-side against the paper's numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.alloc.costs import DEFAULT_COST_MODEL, execution_instructions
 from repro.obs.spans import traced
@@ -27,6 +27,11 @@ from repro.core.predictor import (
 from repro.core.quantile import P2Histogram
 from repro.core.sites import FULL_CHAIN
 from repro.runtime.events import Trace
+from repro.runtime.stream.protocol import (
+    EventSource,
+    iter_object_lifetimes,
+    stream_live_stats,
+)
 from repro.analysis.experiments import EVAL_DATASET, TRAIN_DATASET, TraceStore
 from repro.analysis.simulate import (
     SimulationResult,
@@ -110,20 +115,25 @@ def table2(store: TraceStore) -> List[Table2Row]:
     """Execution behaviour of each program on the evaluation input."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
-        live = trace.live_stats()
+        source = store.source(program, EVAL_DATASET)
+        summary = source.summary
+        live = stream_live_stats(source)
+        total_refs = summary.heap_refs + summary.non_heap_refs
         rows.append(
             Table2Row(
                 program=program,
                 instructions=execution_instructions(
-                    trace.total_calls, trace.total_refs
+                    summary.total_calls, total_refs
                 ),
-                function_calls=trace.total_calls,
-                total_bytes=trace.total_bytes,
-                total_objects=trace.total_objects,
+                function_calls=summary.total_calls,
+                total_bytes=summary.end_time,
+                total_objects=summary.total_objects,
                 max_bytes=live.max_live_bytes,
                 max_objects=live.max_live_objects,
-                heap_ref_pct=100.0 * trace.heap_ref_fraction,
+                heap_ref_pct=(
+                    100.0 * summary.heap_refs / total_refs
+                    if total_refs else 0.0
+                ),
             )
         )
     return rows
@@ -154,10 +164,13 @@ def table3(store: TraceStore) -> List[Table3Row]:
     """Lifetime quartiles for each program."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
+        source = store.source(program, EVAL_DATASET)
+        # Sorting makes the collected pairs independent of event order, so
+        # the (order-sensitive) P^2 fold below sees the same sequence from
+        # a streamed trace as from a materialized one.
         pairs = sorted(
-            (trace.lifetime_of(obj_id), trace.size_of(obj_id))
-            for obj_id in range(trace.total_objects)
+            (lifetime, size)
+            for _, size, lifetime, _ in iter_object_lifetimes(source)
         )
         total = sum(size for _, size in pairs)
         targets = [0.0, 0.25, 0.50, 0.75, 1.0]
@@ -216,12 +229,12 @@ def table4(
     """Fraction of bytes predicted short-lived, self and true."""
     rows = []
     for program in store.programs:
-        eval_trace = store.trace(program, EVAL_DATASET)
+        eval_source = store.source(program, EVAL_DATASET)
         self_eval = evaluate(
-            store.self_predictor(program, threshold=threshold), eval_trace
+            store.self_predictor(program, threshold=threshold), eval_source
         )
         true_eval = evaluate(
-            store.predictor(program, threshold=threshold), eval_trace
+            store.predictor(program, threshold=threshold), eval_source
         )
         rows.append(
             Table4Row(
@@ -260,9 +273,9 @@ def table5(
     """Prediction from object size alone (self prediction)."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
-        predictor = train_size_only_predictor(trace, threshold=threshold)
-        result = evaluate(predictor, trace)
+        source = store.source(program, EVAL_DATASET)
+        predictor = train_size_only_predictor(source, threshold=threshold)
+        result = evaluate(predictor, source)
         rows.append(
             Table5Row(
                 program=program,
@@ -311,13 +324,13 @@ def table6(
     """Effect of call-chain length on self prediction."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
+        source = store.source(program, EVAL_DATASET)
         by_length: Dict[Optional[int], Tuple[float, float]] = {}
         for length in TABLE6_LENGTHS:
             predictor = store.self_predictor(
                 program, threshold=threshold, chain_length=length
             )
-            result = evaluate(predictor, trace)
+            result = evaluate(predictor, source)
             by_length[length] = (result.predicted_pct, result.new_ref_pct)
         rows.append(Table6Row(program=program, by_length=by_length))
     return rows
@@ -352,7 +365,7 @@ def table7(store: TraceStore) -> List[Table7Row]:
     rows = []
     for program in store.programs:
         result = simulate_arena(
-            store.trace(program, EVAL_DATASET), store.predictor(program)
+            store.source(program, EVAL_DATASET), store.predictor(program)
         )
         rows.append(
             Table7Row(
@@ -393,10 +406,10 @@ def table8(store: TraceStore) -> List[Table8Row]:
     """Maximum heap sizes under first-fit and arena allocation."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
-        firstfit = simulate_firstfit(trace)
-        self_arena = simulate_arena(trace, store.self_predictor(program))
-        true_arena = simulate_arena(trace, store.predictor(program))
+        source = store.source(program, EVAL_DATASET)
+        firstfit = simulate_firstfit(source)
+        self_arena = simulate_arena(source, store.self_predictor(program))
+        true_arena = simulate_arena(source, store.predictor(program))
         rows.append(
             Table8Row(
                 program=program,
@@ -433,12 +446,12 @@ def table9(store: TraceStore) -> List[Table9Row]:
     """Average instruction costs, true prediction for the arena rows."""
     rows = []
     for program in store.programs:
-        trace = store.trace(program, EVAL_DATASET)
+        source = store.source(program, EVAL_DATASET)
         predictor = store.predictor(program)
-        bsd = simulate_bsd(trace)
-        firstfit = simulate_firstfit(trace)
-        len4 = simulate_arena(trace, predictor, strategy="len4")
-        cce = simulate_arena(trace, predictor, strategy="cce")
+        bsd = simulate_bsd(source)
+        firstfit = simulate_firstfit(source)
+        len4 = simulate_arena(source, predictor, strategy="len4")
+        cce = simulate_arena(source, predictor, strategy="cce")
         rows.append(
             Table9Row(
                 program=program,
@@ -455,8 +468,14 @@ def table9(store: TraceStore) -> List[Table9Row]:
 # Headline claim: >90% of bytes are short-lived
 # ----------------------------------------------------------------------
 
-def short_lived_fraction(trace: Trace, threshold: int) -> float:
+def short_lived_fraction(
+    trace: "Union[Trace, EventSource]", threshold: int
+) -> float:
     """Fraction of bytes that die within ``threshold`` (the §4.1 claim)."""
-    if trace.total_bytes == 0:
+    from repro.runtime.stream.protocol import as_event_source
+
+    source = as_event_source(trace)
+    total_bytes = source.summary.end_time  # == total bytes allocated
+    if total_bytes == 0:
         return 0.0
-    return actual_short_lived_bytes(trace, threshold) / trace.total_bytes
+    return actual_short_lived_bytes(source, threshold) / total_bytes

@@ -7,13 +7,17 @@ disk in the versioned :mod:`repro.runtime.tracefile` format so a second
 process loads a gzipped trace in milliseconds instead of re-running the
 workload.
 
-Cache layout — one gzipped trace file per execution under a single
+Cache layout — one chunked v3 trace file per execution under a single
 directory (default ``~/.cache/repro-alloc``, overridable with the
 ``REPRO_CACHE_DIR`` environment variable)::
 
-    <program>-<dataset>-scale<scale>-v<FORMAT_VERSION>-<srchash>.json.gz
+    <program>-<dataset>-scale<scale>-v<FORMAT_VERSION>-<srchash>.rtr3
 
-The key bakes in everything that could change the trace:
+The v3 format lets :meth:`TraceCache.open_stream` replay an entry in
+O(live objects + one chunk) memory without materializing it; ``load``
+still returns a fully materialized :class:`~repro.runtime.events.Trace`
+from the same bytes.  The key bakes in everything that could change the
+trace:
 
 * ``program``, ``dataset``, ``scale`` — the execution's identity;
 * ``FORMAT_VERSION`` — the tracefile format, so format upgrades never
@@ -39,7 +43,13 @@ from repro.obs.metrics import METRICS, Metrics
 from repro.obs.spans import TRACER
 from repro.runtime import tracefile
 from repro.runtime.events import Trace
-from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
+from repro.runtime.stream.protocol import EventSource
+from repro.runtime.tracefile import (
+    TraceFormatError,
+    load_trace,
+    open_trace_stream,
+    save_trace,
+)
 
 __all__ = [
     "TraceCache",
@@ -120,7 +130,7 @@ class TraceCache:
         """Where the trace for one execution lives (whether or not present)."""
         name = (
             f"{program}-{dataset}-scale{float(scale)}"
-            f"-v{tracefile.FORMAT_VERSION}-{workloads_source_hash()}.json.gz"
+            f"-v{tracefile.FORMAT_VERSION}-{workloads_source_hash()}.rtr3"
         )
         return self.directory / name
 
@@ -155,6 +165,39 @@ class TraceCache:
         self.metrics.incr("trace_cache.hit")
         return trace
 
+    def open_stream(
+        self, program: str, dataset: str, scale: float
+    ) -> Optional[EventSource]:
+        """A streaming :class:`EventSource` over the entry, or ``None``.
+
+        The constant-memory counterpart of :meth:`load`: the returned
+        source replays the cached v3 file chunk by chunk instead of
+        materializing it.  Misses follow :meth:`load`'s contract — absent
+        entries return ``None``, corrupt entries are deleted and counted
+        under ``trace_cache.corrupt``.  (A corrupt file can still be
+        detected mid-replay by the source itself; only open-time damage is
+        converted to a miss here.)
+        """
+        path = self.entry_path(program, dataset, scale)
+        try:
+            with TRACER.span("trace_cache.open_stream", cat="cache",
+                             program=program, dataset=dataset), \
+                    self.metrics.stage("trace_cache.open_stream"):
+                source = open_trace_stream(path)
+        except FileNotFoundError:
+            self.metrics.incr("trace_cache.miss")
+            return None
+        except (TraceFormatError, OSError):
+            self.metrics.incr("trace_cache.miss")
+            self.metrics.incr("trace_cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.metrics.incr("trace_cache.hit")
+        return source
+
     def store(self, trace: Trace, scale: float) -> Path:
         """Write ``trace`` to its cache entry (atomic) and return the path."""
         path = self.entry_path(trace.program, trace.dataset, scale)
@@ -170,12 +213,15 @@ class TraceCache:
         """Delete every cache entry; returns how many files were removed."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.json.gz"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            # Both the current v3 suffix and the pre-v3 ``.json.gz``
+            # entries older caches may still hold.
+            for pattern in ("*.rtr3", "*.json.gz"):
+                for path in self.directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def __repr__(self) -> str:

@@ -25,8 +25,9 @@ from repro.bench.provenance import BENCH_SCHEMA_VERSION
 __all__ = ["TIMING_FIELDS", "BenchRecord", "BenchSession"]
 
 #: Record fields that vary run-to-run on the same commit (wall-clock
-#: noise).  Everything else must be bit-identical across runs.
-TIMING_FIELDS = ("wall_seconds", "wall_seconds_mean")
+#: noise, memory footprint).  Everything else must be bit-identical
+#: across runs.
+TIMING_FIELDS = ("wall_seconds", "wall_seconds_mean", "peak_rss_kb")
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,11 @@ class BenchRecord:
     arena_alloc_pct: float
     arena_byte_pct: float
     mispredictions: Dict[str, int] = field(default_factory=dict)
+    #: Peak process RSS in KB sampled after this benchmark's replays
+    #: (0 when the platform cannot report it; pre-existing sessions
+    #: without the field load as 0).  Environment-dependent, so it lives
+    #: in :data:`TIMING_FIELDS`, outside the deterministic gate.
+    peak_rss_kb: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict with stable key order and rounded floats."""
@@ -72,6 +78,7 @@ class BenchRecord:
             "arena_alloc_pct": round(self.arena_alloc_pct, 6),
             "arena_byte_pct": round(self.arena_byte_pct, 6),
             "mispredictions": dict(sorted(self.mispredictions.items())),
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
     @classmethod
@@ -96,6 +103,7 @@ class BenchRecord:
             mispredictions={
                 k: int(v) for k, v in data.get("mispredictions", {}).items()
             },
+            peak_rss_kb=int(data.get("peak_rss_kb", 0)),
         )
 
     def deterministic_dict(self) -> Dict[str, Any]:

@@ -30,7 +30,7 @@ from repro.analysis.simulate import (
 )
 from repro.bench.provenance import collect_provenance
 from repro.bench.record import BenchRecord, BenchSession
-from repro.obs.metrics import Metrics
+from repro.obs.metrics import Metrics, peak_rss_kb
 from repro.obs.spans import TRACER
 from repro.obs.telemetry import MISPREDICTION_KINDS, Telemetry
 
@@ -120,6 +120,7 @@ def run_suite(
                     mispredictions={
                         kind: totals[kind] for kind in MISPREDICTION_KINDS
                     },
+                    peak_rss_kb=peak_rss_kb(),
                 )
             )
     return records

@@ -2,11 +2,12 @@
 
 Mirrors the paper's workflow as subcommands::
 
-    repro-alloc trace gawk train -o gawk-train.json.gz
-    repro-alloc profile gawk-train.json.gz -o gawk.sites
-    repro-alloc predict gawk.sites gawk-test.json.gz
-    repro-alloc simulate gawk-test.json.gz --sites gawk.sites
-    repro-alloc quantiles gawk-test.json.gz
+    repro-alloc trace gawk train -o gawk-train.rtr3
+    repro-alloc convert gawk-train.json.gz gawk-train.rtr3
+    repro-alloc profile gawk-train.rtr3 -o gawk.sites
+    repro-alloc predict gawk.sites gawk-test.rtr3
+    repro-alloc simulate gawk-test.rtr3 --sites gawk.sites --stream
+    repro-alloc quantiles gawk-test.rtr3
     repro-alloc sites gawk-test.json.gz --top 10
     repro-alloc warm --jobs 4
     repro-alloc table all
@@ -18,10 +19,13 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc lint --format sarif -o alloclint.sarif
     repro-alloc audit-sites --scale 0.05
 
-``trace`` runs a workload and stores its allocation trace; ``profile``
-trains a short-lived site database from a trace; ``predict`` scores a
-database against a trace (Table 4's columns); ``simulate`` replays a
-trace against an allocator; ``warm`` populates the persistent trace
+``trace`` runs a workload and stores its allocation trace; ``convert``
+rewrites a trace between the v2 (monolithic JSON) and v3 (chunked,
+streamable) formats; ``profile`` trains a short-lived site database from
+a trace; ``predict`` scores a database against a trace (Table 4's
+columns); ``simulate`` replays a trace against an allocator (with
+``--stream``, through the constant-memory event pipeline — ``table`` and
+``stats`` take the same flag); ``warm`` populates the persistent trace
 cache (optionally in parallel); ``table`` regenerates the paper's
 tables; ``stats`` and ``timeline`` replay one workload with the
 telemetry recorder attached and report per-site mispredictions or the
@@ -55,7 +59,7 @@ from repro.analysis import TraceStore, simulate_arena, simulate_bsd, simulate_fi
 from repro.analysis import report as report_mod
 from repro.analysis.compare import diff_traces, render_diff
 from repro.analysis.inspect import lifetime_report, sites_report
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import METRICS, record_peak_rss
 from repro.analysis import tables as tables_mod
 from repro.bench import (
     BENCH_ALLOCATORS,
@@ -90,7 +94,13 @@ from repro.obs import (
 from repro.obs.export import DEFAULT_TELEMETRY_DIR
 from repro.obs.spans import TRACER, write_chrome_trace
 from repro.runtime.heap import HeapError
-from repro.runtime.tracefile import TraceFormatError, load_trace, save_trace
+from repro.runtime.tracefile import (
+    TraceFormatError,
+    convert_trace,
+    load_trace,
+    open_trace_stream,
+    save_trace,
+)
 from repro.static import (
     AuditError,
     StaticAnalysisError,
@@ -178,7 +188,8 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("program", choices=PROGRAM_ORDER)
     trace.add_argument("dataset", help="dataset name (train/test/...)")
     trace.add_argument("-o", "--output", required=True,
-                       help="trace file (.json or .json.gz)")
+                       help="trace file (.json/.json.gz for v2, "
+                            ".rtr3 for the streamable v3 format)")
     trace.add_argument("--scale", type=float, default=1.0,
                        help="input scale factor (default 1.0)")
     trace.set_defaults(handler=_cmd_trace)
@@ -223,7 +234,19 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=DEFAULT_SAMPLE_INTERVAL,
                           help="telemetry sample interval in allocations "
                                f"(default {DEFAULT_SAMPLE_INTERVAL})")
+    _add_stream_option(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    convert = sub.add_parser(
+        "convert", help="convert a trace file between formats (v2 <-> v3)"
+    )
+    convert.add_argument("source", help="trace file to read")
+    convert.add_argument("dest", help="trace file to write")
+    convert.add_argument("--trace-version", type=int, default=None,
+                         choices=[2, 3],
+                         help="target format version (default: 3, or 2 "
+                              "when DEST ends in .json/.json.gz)")
+    convert.set_defaults(handler=_cmd_convert)
 
     quantiles = sub.add_parser(
         "quantiles", help="lifetime quartiles of a stored trace"
@@ -268,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="regenerate the paper's tables")
     table.add_argument("which", help="table number 1-9, or 'all'")
     _add_store_options(table, jobs=True)
+    _add_stream_option(table)
     table.set_defaults(handler=_cmd_table)
 
     stats = sub.add_parser(
@@ -279,6 +303,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="print the machine-readable summary instead "
                             "of the table")
+    _add_stream_option(stats)
     stats.set_defaults(handler=_cmd_stats)
 
     timeline = sub.add_parser(
@@ -435,6 +460,18 @@ def _add_store_options(
                          help="worker processes (default 1: serial)")
 
 
+def _add_stream_option(sub: argparse.ArgumentParser) -> None:
+    """The ``--stream`` flag shared by ``simulate``/``table``/``stats``.
+
+    Streaming keeps stdout byte-identical to the materialized path; the
+    peak-RSS note demonstrating the memory model goes to stderr.
+    """
+    sub.add_argument("--stream", action="store_true",
+                     help="replay through the constant-memory event "
+                          "stream instead of materializing traces; "
+                          "reports peak RSS on stderr")
+
+
 def _add_telemetry_options(sub: argparse.ArgumentParser) -> None:
     """The replay-selection flags shared by ``stats`` and ``timeline``."""
     sub.add_argument("--program", required=True, choices=PROGRAM_ORDER,
@@ -496,8 +533,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_peak_rss() -> None:
+    """Record and print peak RSS (stderr, so stdout stays byte-identical)."""
+    print(f"peak rss: {record_peak_rss()} KB", file=sys.stderr)
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    version = convert_trace(args.source, args.dest,
+                            version=args.trace_version)
+    print(f"{args.source} -> {args.dest} (format v{version})")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    trace = open_trace_stream(args.trace) if args.stream \
+        else load_trace(args.trace)
     telemetry = (
         Telemetry(interval=args.interval)
         if args.telemetry_out is not None else None
@@ -528,6 +578,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         paths = export_timeline(telemetry, Path(args.telemetry_out))
         for path in paths.values():
             print(f"telemetry: {path}", file=sys.stderr)
+    if args.stream:
+        _report_peak_rss()
     return 0
 
 
@@ -569,6 +621,7 @@ def _make_store(args: argparse.Namespace) -> TraceStore:
         scale=args.scale,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        streaming=getattr(args, "stream", False),
     )
 
 
@@ -612,18 +665,18 @@ def _replay_with_telemetry(args: argparse.Namespace) -> Telemetry:
     saved site database is supplied.
     """
     store = _make_store(args)
-    trace = store.trace(args.program, args.dataset)
+    source = store.source(args.program, args.dataset)
     telemetry = Telemetry(interval=args.interval)
     if args.allocator == "firstfit":
-        simulate_firstfit(trace, telemetry=telemetry)
+        simulate_firstfit(source, telemetry=telemetry)
     elif args.allocator == "bsd":
-        simulate_bsd(trace, telemetry=telemetry)
+        simulate_bsd(source, telemetry=telemetry)
     else:
         if args.sites:
             predictor = load_predictor(args.sites)
         else:
             predictor = store.predictor(args.program)
-        simulate_arena(trace, predictor, telemetry=telemetry)
+        simulate_arena(source, predictor, telemetry=telemetry)
     if not telemetry.samples:
         raise ValueError(
             f"telemetry recorded zero samples for "
@@ -639,6 +692,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                          indent=2, sort_keys=True))
     else:
         print(render_stats(telemetry, top=args.top))
+    if args.stream:
+        _report_peak_rss()
     return 0
 
 
@@ -684,6 +739,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             f"{rec.name:<24} {rec.wall_seconds:8.3f}s"
             f"  instr/alloc {rec.instr_per_alloc:7.1f}"
             f"  heap {rec.max_heap_size:>11,}"
+            f"  rss {rec.peak_rss_kb:>9,}KB"
         )
         if rec.allocator == "arena":
             line += (
@@ -876,10 +932,12 @@ def _cmd_audit_sites(args: argparse.Namespace) -> int:
 
 
 def _table_worker(
-    key: str, scale: float, cache_dir: Optional[str], use_cache: bool
+    key: str, scale: float, cache_dir: Optional[str], use_cache: bool,
+    streaming: bool = False,
 ) -> str:
     """Child-process body of ``table --jobs N``: render one table."""
-    store = TraceStore(scale=scale, cache_dir=cache_dir, use_cache=use_cache)
+    store = TraceStore(scale=scale, cache_dir=cache_dir, use_cache=use_cache,
+                       streaming=streaming)
     compute, render = _TABLES[key]
     return render(compute(store))
 
@@ -901,6 +959,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
             scale=args.scale,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            streaming=args.stream,
         )
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             for text in pool.map(worker, which):
@@ -913,6 +972,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
                 text = render(compute(store))
             print(text)
             print()
+    if args.stream:
+        _report_peak_rss()
     return 0
 
 

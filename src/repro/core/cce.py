@@ -28,10 +28,11 @@ from repro.core.predictor import (
     LifetimePredictor,
 )
 from repro.core.sites import CallChain, round_size
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:
     from repro.runtime.events import Trace
+    from repro.runtime.stream.protocol import EventSource
 
 __all__ = [
     "function_id",
@@ -110,7 +111,7 @@ class CCEPredictor(LifetimePredictor):
 
 
 def train_cce_predictor(
-    trace: Trace,
+    trace: Union["Trace", "EventSource"],
     threshold: int = DEFAULT_THRESHOLD,
     size_rounding: int = TRUE_PREDICTION_ROUNDING,
     bits: int = KEY_BITS,
@@ -119,15 +120,24 @@ def train_cce_predictor(
 
     A (key, size) entry qualifies only if *every* object whose chain
     encrypts to that key died under the threshold — so chains that collide
-    with a long-lived chain are (safely) disqualified.
+    with a long-lived chain are (safely) disqualified.  The and-fold is
+    order-independent, so a streamed trace selects exactly the keys the
+    materialized one does.
     """
+    from repro.runtime.stream.protocol import (
+        as_event_source,
+        iter_object_lifetimes,
+    )
+
+    source = as_event_source(trace)
+    chain_of = source.header.chains.chain
     all_short: Dict[Tuple[int, int], bool] = {}
-    for obj_id in range(trace.total_objects):
+    for chain_id, size, lifetime, _ in iter_object_lifetimes(source):
         key = (
-            encrypt_chain(trace.chain_of(obj_id), bits),
-            round_size(trace.size_of(obj_id), size_rounding),
+            encrypt_chain(chain_of(chain_id), bits),
+            round_size(size, size_rounding),
         )
-        short = trace.lifetime_of(obj_id) < threshold
+        short = lifetime < threshold
         all_short[key] = all_short.get(key, True) and short
     selected = frozenset(key for key, short in all_short.items() if short)
     return CCEPredictor(
@@ -135,7 +145,7 @@ def train_cce_predictor(
         threshold=threshold,
         size_rounding=size_rounding,
         bits=bits,
-        program=trace.program,
+        program=source.header.program,
     )
 
 

@@ -34,7 +34,7 @@ New Ref column).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from repro.core.profile import SiteKey, SiteProfile, build_profile
 from repro.core.sites import FULL_CHAIN, CallChain, round_size, site_key
@@ -42,6 +42,12 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.runtime.events import Trace
+    from repro.runtime.stream.protocol import EventSource
+
+#: Consumers here take either an in-memory trace or an event stream; all
+#: per-object statistics they accumulate are order-independent, so both
+#: inputs produce identical predictors and evaluations.
+TraceLike = Union["Trace", "EventSource"]
 
 __all__ = [
     "DEFAULT_THRESHOLD",
@@ -167,7 +173,7 @@ class SizeOnlyPredictor(LifetimePredictor):
 
 
 def train_site_predictor(
-    trace: Trace,
+    trace: TraceLike,
     threshold: int = DEFAULT_THRESHOLD,
     chain_length: Optional[int] = FULL_CHAIN,
     size_rounding: int = TRUE_PREDICTION_ROUNDING,
@@ -177,14 +183,18 @@ def train_site_predictor(
     Selects every site, at the requested abstraction level, whose training
     objects were all freed in under ``threshold`` bytes of allocation — the
     paper's conservative all-short-lived rule, chosen because mispredicted
-    long-lived objects pollute arenas (§4.1, §5.2).
+    long-lived objects pollute arenas (§4.1, §5.2).  Selection depends
+    only on each site's maximum lifetime, so a streamed trace trains the
+    identical database in O(live objects) memory.
     """
     # Imported lazily: repro.obs.telemetry imports this module for
     # DEFAULT_THRESHOLD, so a top-level obs import would be circular.
     from repro.obs.spans import TRACER
+    from repro.runtime.stream.protocol import source_identity
 
+    program, dataset = source_identity(trace)
     with TRACER.span("profile.train_sites", cat="core",
-                     program=trace.program, dataset=trace.dataset,
+                     program=program, dataset=dataset,
                      threshold=threshold):
         profile = build_profile(
             trace, chain_length=chain_length, size_rounding=size_rounding
@@ -195,35 +205,45 @@ def train_site_predictor(
         threshold=threshold,
         chain_length=chain_length,
         size_rounding=size_rounding,
-        program=trace.program,
+        program=program,
     )
 
 
 def train_size_only_predictor(
-    trace: Trace, threshold: int = DEFAULT_THRESHOLD
+    trace: TraceLike, threshold: int = DEFAULT_THRESHOLD
 ) -> SizeOnlyPredictor:
     """Train a :class:`SizeOnlyPredictor`: sizes whose objects all died young."""
+    from repro.runtime.stream.protocol import (
+        as_event_source,
+        iter_object_lifetimes,
+    )
+
+    source = as_event_source(trace)
     per_size: Dict[int, bool] = {}
-    for obj_id in range(trace.total_objects):
-        size = trace.size_of(obj_id)
-        short = trace.lifetime_of(obj_id) < threshold
+    for _, size, lifetime, _ in iter_object_lifetimes(source):
+        short = lifetime < threshold
         per_size[size] = per_size.get(size, True) and short
     selected = frozenset(size for size, short in per_size.items() if short)
     return SizeOnlyPredictor(
-        selected, threshold=threshold, program=trace.program
+        selected, threshold=threshold, program=source.header.program
     )
 
 
-def actual_short_lived_bytes(trace: Trace, threshold: int) -> int:
+def actual_short_lived_bytes(trace: TraceLike, threshold: int) -> int:
     """Bytes of objects that truly died under ``threshold`` — the oracle.
 
     This is the per-object ground truth behind the Actual Short-lived Bytes
     column: the most any site-based predictor could correctly capture.
     """
+    from repro.runtime.stream.protocol import (
+        as_event_source,
+        iter_object_lifetimes,
+    )
+
     total = 0
-    for obj_id in range(trace.total_objects):
-        if trace.lifetime_of(obj_id) < threshold:
-            total += trace.size_of(obj_id)
+    for _, size, lifetime, _ in iter_object_lifetimes(as_event_source(trace)):
+        if lifetime < threshold:
+            total += size
     return total
 
 
@@ -278,7 +298,7 @@ class PredictionEvaluation:
 
 def evaluate(
     predictor: LifetimePredictor,
-    trace: Trace,
+    trace: TraceLike,
     count_matched_sites: bool = True,
 ) -> PredictionEvaluation:
     """Score ``predictor`` on ``trace``.
@@ -289,20 +309,32 @@ def evaluate(
     and the predictor is site-based, the Sites Used column counts only the
     database entries that matched some test allocation, matching how the
     paper reports true prediction.
+
+    Scoring accumulates sums and sets over objects, so it is
+    order-independent: a streamed trace evaluates to exactly the numbers
+    the materialized one does, in one event pass.
     """
     from repro.obs.spans import TRACER  # lazy: see train_site_predictor
+    from repro.runtime.stream.protocol import as_event_source
 
+    source = as_event_source(trace)
+    header = source.header
     with TRACER.span("predict.evaluate", cat="core",
-                     program=trace.program, dataset=trace.dataset):
-        return _evaluate(predictor, trace, count_matched_sites)
+                     program=header.program, dataset=header.dataset):
+        return _evaluate(predictor, source, count_matched_sites)
 
 
 def _evaluate(
     predictor: LifetimePredictor,
-    trace: Trace,
+    source: "EventSource",
     count_matched_sites: bool,
 ) -> PredictionEvaluation:
+    from repro.runtime.stream.protocol import iter_object_lifetimes
+
+    header = source.header
+    chain_of = header.chains.chain
     total_bytes = 0
+    actual_short = 0
     predicted_short = 0
     error_bytes = 0
     predicted_objects = 0
@@ -312,10 +344,12 @@ def _evaluate(
     threshold = predictor.threshold
     is_site_based = isinstance(predictor, SitePredictor)
 
-    for obj_id in range(trace.total_objects):
-        chain = trace.chain_of(obj_id)
-        size = trace.size_of(obj_id)
+    for chain_id, size, lifetime, touches in iter_object_lifetimes(source):
+        chain = chain_of(chain_id)
         total_bytes += size
+        short = lifetime < threshold
+        if short:
+            actual_short += size
         if is_site_based:
             key = predictor.key_for(chain, size)  # type: ignore[attr-defined]
             test_keys.add(key)
@@ -329,8 +363,8 @@ def _evaluate(
                 matched_keys.add(size)
         if hit:
             predicted_objects += 1
-            predicted_refs += trace.touches_of(obj_id)
-            if trace.lifetime_of(obj_id) < threshold:
+            predicted_refs += touches
+            if short:
                 predicted_short += size
             else:
                 error_bytes += size
@@ -339,17 +373,17 @@ def _evaluate(
         len(matched_keys) if count_matched_sites else predictor.site_count
     )
     return PredictionEvaluation(
-        program=trace.program,
-        dataset=trace.dataset,
+        program=header.program,
+        dataset=header.dataset,
         threshold=threshold,
         total_sites=len(test_keys),
         sites_used=sites_used,
         total_bytes=total_bytes,
-        actual_short_bytes=actual_short_lived_bytes(trace, threshold),
+        actual_short_bytes=actual_short,
         predicted_short_bytes=predicted_short,
         error_bytes=error_bytes,
         predicted_objects=predicted_objects,
-        total_heap_refs=trace.heap_refs,
+        total_heap_refs=source.summary.heap_refs,
         predicted_heap_refs=predicted_refs,
     )
 

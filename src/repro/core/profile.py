@@ -21,10 +21,11 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.quantile import P2Histogram
 from repro.core.sites import FULL_CHAIN, CallChain, site_key
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:
     from repro.runtime.events import Trace
+    from repro.runtime.stream.protocol import EventSource
 
 __all__ = ["SiteStats", "SiteProfile", "build_profile", "SiteKey"]
 
@@ -139,7 +140,7 @@ class SiteProfile:
         }
 
 def build_profile(
-    trace: Trace,
+    trace: Union["Trace", "EventSource"],
     chain_length: Optional[int] = FULL_CHAIN,
     size_rounding: int = 1,
 ) -> SiteProfile:
@@ -150,7 +151,26 @@ def build_profile(
     size).  The per-object "Actual Short-lived Bytes" denominator of the
     paper's tables is computed directly from the trace by
     :func:`repro.core.predictor.actual_short_lived_bytes`.
+
+    An in-memory :class:`Trace` folds objects in allocation (object-id)
+    order, as always; an :class:`~repro.runtime.stream.protocol.
+    EventSource` folds each object at its death event in one stream pass
+    with an O(live objects) working set.  Every order-independent
+    statistic — counts, byte sums, min/max lifetime, and therefore the
+    all-short-lived predictor selection — is identical between the two;
+    only the order-*dependent* P^2 quantile approximations inside each
+    site can differ, which is why the materialized path keeps the
+    historical fold order (``repro-alloc sites`` reports stay stable).
     """
+    from repro.runtime.events import Trace as _Trace
+    from repro.runtime.stream.protocol import TraceEventSource
+
+    if isinstance(trace, TraceEventSource):
+        # An in-memory trace merely wrapped as a stream: unwrap so the
+        # P^2 fold order (and hence the sites report) stays historical.
+        trace = trace.trace
+    if not isinstance(trace, _Trace):
+        return _build_profile_streaming(trace, chain_length, size_rounding)
     profile = SiteProfile(
         program=trace.program,
         dataset=trace.dataset,
@@ -170,5 +190,54 @@ def build_profile(
             lifetime=trace.lifetime_of(obj_id),
             touches=trace.touches_of(obj_id),
             freed=trace.freed(obj_id),
+        )
+    return profile
+
+
+def _build_profile_streaming(
+    source: "EventSource",
+    chain_length: Optional[int],
+    size_rounding: int,
+) -> SiteProfile:
+    """One-pass :func:`build_profile` over an event stream."""
+    from repro.runtime.stream.protocol import EV_ALLOC, EV_FREE
+
+    header = source.header
+    profile = SiteProfile(
+        program=header.program,
+        dataset=header.dataset,
+        chain_length=chain_length,
+        size_rounding=size_rounding,
+    )
+    chain_of = header.chains.chain
+    live = {}
+    for ev in source.events():
+        tag = ev[0]
+        if tag == EV_ALLOC:
+            live[ev[1]] = (ev[2], ev[3], ev[4])
+        elif tag == EV_FREE:
+            chain_id, size, birth = live.pop(ev[1])
+            key = site_key(
+                chain_of(chain_id), size,
+                length=chain_length, size_rounding=size_rounding,
+            )
+            profile.observe(
+                key, size=size, lifetime=ev[2] - birth, touches=ev[3],
+            )
+    summary = source.summary
+    end_time = summary.end_time
+    unfreed_touches = dict(summary.unfreed_touches)
+    for obj_id in sorted(live):
+        chain_id, size, birth = live[obj_id]
+        key = site_key(
+            chain_of(chain_id), size,
+            length=chain_length, size_rounding=size_rounding,
+        )
+        profile.observe(
+            key,
+            size=size,
+            lifetime=end_time - birth,
+            touches=unfreed_touches.get(obj_id, 0),
+            freed=False,
         )
     return profile

@@ -22,12 +22,19 @@ the session report.
 from __future__ import annotations
 
 import json
+import sys
 from contextlib import contextmanager
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Union
 
-__all__ = ["Metrics", "StageTiming", "METRICS"]
+__all__ = [
+    "Metrics",
+    "StageTiming",
+    "METRICS",
+    "peak_rss_kb",
+    "record_peak_rss",
+]
 
 
 @dataclass
@@ -72,6 +79,16 @@ class Metrics:
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
         self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_max(self, name: str, value: int) -> None:
+        """Raise counter ``name`` to ``value`` if it is below it.
+
+        A high-water-mark gauge (e.g. peak RSS): merging still *adds*
+        counters, which is correct for worker processes whose address
+        spaces are disjoint.
+        """
+        if value > self._counters.get(name, 0):
+            self._counters[name] = value
 
     # ------------------------------------------------------------------
     # Reading
@@ -154,6 +171,37 @@ class Metrics:
         if len(lines) == (1 if title else 0):
             lines.append("  (no measurements recorded)")
         return "\n".join(lines)
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in kilobytes.
+
+    Read from ``getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on Linux,
+    bytes on macOS — normalized here).  Returns 0 on platforms without
+    the :mod:`resource` module, so callers never need a platform guard.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+def record_peak_rss(metrics: Optional[Metrics] = None) -> int:
+    """Record :func:`peak_rss_kb` under the ``peak_rss_kb`` gauge.
+
+    Records into ``metrics`` (default: the process-wide :data:`METRICS`)
+    via :meth:`Metrics.set_max` and returns the sampled value, so one
+    call both updates the registry and feeds a report line.
+    """
+    peak = peak_rss_kb()
+    (metrics if metrics is not None else METRICS).set_max(
+        "peak_rss_kb", peak
+    )
+    return peak
 
 
 #: Process-wide default sink shared by the CLI, TraceStore, telemetry,

@@ -146,7 +146,9 @@ class TestRecordSerialization:
     def test_deterministic_dict_strips_only_timings(self, session_pair):
         rec = session_pair[0].records[0]
         full, det = rec.to_dict(), rec.deterministic_dict()
-        assert set(full) - set(det) == {"wall_seconds", "wall_seconds_mean"}
+        assert set(full) - set(det) == {
+            "wall_seconds", "wall_seconds_mean", "peak_rss_kb",
+        }
 
     def test_mispredictions_total(self):
         rec = _make_record("x", mispredictions={"late_free": 2, "overflow": 1})

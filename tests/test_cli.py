@@ -294,3 +294,50 @@ class TestDiffCommand:
             "diff", str(tmp_path / "a.gz"), str(tmp_path / "b.gz"),
         ]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestStreamingCli:
+    @pytest.fixture
+    def v3_trace(self, tmp_path):
+        out = tmp_path / "gawk.rtr3"
+        main(["trace", "gawk", "tiny", "-o", str(out)])
+        return out
+
+    def test_trace_rtr3_suffix_selects_v3(self, v3_trace):
+        from repro.runtime.stream import TraceFileSource
+        from repro.runtime.tracefile import open_trace_stream
+
+        assert isinstance(open_trace_stream(v3_trace), TraceFileSource)
+
+    def test_convert_upgrades_v2_to_v3(self, tmp_path, capsys):
+        v2 = tmp_path / "gawk.json.gz"
+        v3 = tmp_path / "gawk.rtr3"
+        main(["trace", "gawk", "tiny", "-o", str(v2)])
+        capsys.readouterr()
+        assert main(["convert", str(v2), str(v3)]) == 0
+        assert "format v3" in capsys.readouterr().out
+
+        from repro.runtime.tracefile import load_trace
+
+        assert load_trace(v3).total_objects == load_trace(v2).total_objects
+
+    def test_convert_missing_source_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "convert", str(tmp_path / "nope.rtr3"), str(tmp_path / "out"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_stream_output_matches_materialized(
+        self, v3_trace, capsys
+    ):
+        assert main([
+            "simulate", str(v3_trace), "--allocator", "firstfit",
+        ]) == 0
+        materialized = capsys.readouterr()
+        assert main([
+            "simulate", str(v3_trace), "--allocator", "firstfit", "--stream",
+        ]) == 0
+        streamed = capsys.readouterr()
+        assert streamed.out == materialized.out
+        assert "peak rss:" in streamed.err
+        assert "peak rss:" not in materialized.err

@@ -1,0 +1,87 @@
+"""End-to-end parity: converted v3 streams reproduce the tables exactly.
+
+The acceptance test for the streaming refactor (DESIGN.md §10): every
+workload is traced once, written in the legacy v2 format, pushed through
+the ``convert_trace`` upgrade to chunked v3, and then replayed through a
+``TraceStore(streaming=True)``.  Tables 4, 7, and 8 rendered from the
+streamed files must be *byte-identical* to the materialized path, and the
+trained predictor databases must serialize to identical bytes.
+
+One module-scoped fixture runs the five workloads (train + test datasets)
+at scale 0.05; everything downstream reuses those runs via the shared
+cache directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import report
+from repro.analysis.experiments import TraceStore
+from repro.analysis.tables import table4, table7, table8
+from repro.analysis.trace_cache import TraceCache
+from repro.core.database import save_predictor
+from repro.obs.metrics import Metrics
+from repro.runtime.stream import TraceFileSource
+from repro.runtime.tracefile import convert_trace, save_trace
+from repro.workloads.registry import PROGRAM_ORDER
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """(materialized store, streaming store) over one shared cache.
+
+    The streaming store's cache entries are produced by the v2 -> v3
+    converter rather than written natively, so this fixture exercises the
+    whole upgrade path: trace -> v2 file -> convert -> v3 file -> stream.
+    """
+    root = tmp_path_factory.mktemp("stream-parity")
+    cache_dir = root / "cache"
+    materialized = TraceStore(scale=SCALE, cache_dir=cache_dir)
+    cache = TraceCache(cache_dir, metrics=Metrics())
+    for program, dataset in materialized.warm_pairs():
+        trace = materialized.trace(program, dataset)
+        legacy = root / f"{program}-{dataset}.json.gz"
+        save_trace(trace, legacy)  # suffix selects the v2 writer
+        entry = cache.entry_path(program, dataset, SCALE)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        assert convert_trace(legacy, entry, version=3) == 3
+    streaming = TraceStore(scale=SCALE, cache_dir=cache_dir, streaming=True)
+    return materialized, streaming
+
+
+def test_streaming_store_replays_files_not_memory(stores):
+    _, streaming = stores
+    assert isinstance(streaming.source("gawk"), TraceFileSource)
+
+
+def test_tables_4_7_8_are_byte_identical(stores):
+    materialized, streaming = stores
+    renderers = (
+        (table4, report.render_table4),
+        (table7, report.render_table7),
+        (table8, report.render_table8),
+    )
+    for build, render in renderers:
+        assert render(build(streaming)) == render(build(materialized))
+
+
+def test_predictor_databases_are_byte_identical(stores, tmp_path):
+    materialized, streaming = stores
+    for program in PROGRAM_ORDER:
+        mat_path = tmp_path / f"{program}-materialized.db"
+        str_path = tmp_path / f"{program}-streamed.db"
+        save_predictor(materialized.predictor(program), mat_path)
+        save_predictor(streaming.predictor(program), str_path)
+        assert str_path.read_bytes() == mat_path.read_bytes(), program
+
+
+def test_cce_predictors_agree(stores):
+    materialized, streaming = stores
+    for program in PROGRAM_ORDER:
+        assert (
+            streaming.cce_predictor(program).keys
+            == materialized.cce_predictor(program).keys
+        ), program

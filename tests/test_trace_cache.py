@@ -28,7 +28,7 @@ class TestKeying:
         path = cache.entry_path("gawk", "train", 0.5)
         assert path.name.startswith("gawk-train-scale0.5-")
         assert f"-v{tracefile.FORMAT_VERSION}-" in path.name
-        assert path.name.endswith(".json.gz")
+        assert path.name.endswith(".rtr3")
 
     def test_scale_changes_the_key(self, cache):
         assert cache.entry_path("gawk", "train", 1.0) != cache.entry_path(
