@@ -28,6 +28,7 @@ same execution, *true* prediction trains on ``train``.
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -112,6 +113,12 @@ class TraceStore:
     at O(live objects + one chunk) per execution.  :meth:`trace` still
     materializes on demand for the few consumers that need random access
     (e.g. the oracle simulation).
+
+    ``jobs > 1`` (streaming mode only) upgrades every file-backed source
+    to a :class:`~repro.runtime.shard.ShardedTraceSource`, which decodes
+    chunks in a process pool and unlocks the map/reduce fold path in
+    predictor training and evaluation — byte-identical results, less
+    wall clock.
     """
 
     def __init__(
@@ -123,9 +130,13 @@ class TraceStore:
         use_cache: bool = True,
         metrics: Optional[Metrics] = None,
         streaming: bool = False,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.scale = scale
         self.streaming = streaming
+        self.jobs = jobs
         self._metrics = metrics if metrics is not None else METRICS
         if cache is not None:
             self._cache: Optional[TraceCache] = cache
@@ -188,7 +199,7 @@ class TraceStore:
         if self._cache is not None:
             source = self._cache.open_stream(program, dataset, self.scale)
             if source is not None:
-                return source
+                return self._shard(source)
         with TRACER.span("workload.run", cat="workload", program=program,
                          dataset=dataset, scale=self.scale), \
                 self._metrics.stage("workload.run"):
@@ -197,8 +208,25 @@ class TraceStore:
             self._cache.store(trace, self.scale)
             source = self._cache.open_stream(program, dataset, self.scale)
             if source is not None:
-                return source
+                return self._shard(source)
         return TraceEventSource(trace)
+
+    def _shard(self, source: EventSource) -> EventSource:
+        """Upgrade a v3 file source to sharded replay when ``jobs > 1``.
+
+        Only chunked file streams can shard; anything else (an in-memory
+        wrap) passes through untouched, so ``jobs`` never changes what a
+        consumer sees — only how fast it sees it.
+        """
+        if self.jobs <= 1:
+            return source
+        from repro.runtime.stream.v3 import TraceFileSource
+
+        if not isinstance(source, TraceFileSource):
+            return source
+        from repro.runtime.shard import ShardedTraceSource
+
+        return ShardedTraceSource(source.path, jobs=self.jobs)
 
     def predictor(
         self,
@@ -260,8 +288,9 @@ class TraceStore:
         publish traces through the cache (memory in this process stays
         lazy — the next :meth:`trace` call is a disk hit).  Without a
         cache there is nowhere for workers to hand traces back, so the
-        warm runs serially in-process.  Returns one :class:`WarmResult`
-        per execution.
+        warm runs serially in-process — with an explicit stderr notice,
+        so ``jobs > 1`` is never a silent no-op.  Returns one
+        :class:`WarmResult` per execution.
         """
         pairs = self.warm_pairs()
         results: List[WarmResult] = []
@@ -288,6 +317,13 @@ class TraceStore:
                 order = {pair: i for i, pair in enumerate(pairs)}
                 results.sort(key=lambda r: order[(r.program, r.dataset)])
             else:
+                if jobs and jobs > 1:
+                    print(
+                        "warm: parallel warming needs the persistent trace "
+                        "cache to share traces across workers; cache "
+                        "disabled, warming serially in-process",
+                        file=sys.stderr,
+                    )
                 for program, dataset in pairs:
                     start = time.perf_counter()
                     if (program, dataset) in self._traces:

@@ -46,10 +46,23 @@ DEFAULT_REPEATS = 3
 _DATASET = "test"
 
 
+def _resolve_trace(store, program: str):
+    """The replay input: a streamed source when the store streams.
+
+    A streaming store (``bench run --jobs N``) hands back its
+    file-backed — possibly sharded — :meth:`source` view so the timed
+    region measures the streamed replay; any other store (including the
+    minimal fakes in tests) keeps the materialized :meth:`trace` path.
+    """
+    if getattr(store, "streaming", False):
+        return store.source(program, _DATASET)
+    return store.trace(program, _DATASET)
+
+
 def _replay_once(
     store, program: str, allocator: str, telemetry: Telemetry
 ) -> SimulationResult:
-    trace = store.trace(program, _DATASET)
+    trace = _resolve_trace(store, program)
     if allocator == "arena":
         predictor = store.predictor(program)
         return simulate_arena(trace, predictor, telemetry=telemetry)
@@ -81,7 +94,7 @@ def run_suite(
     records: List[BenchRecord] = []
     for program in programs:
         # Resolve the trace and predictor outside the timed replays.
-        store.trace(program, _DATASET)
+        _resolve_trace(store, program)
         if "arena" in allocators:
             store.predictor(program)
         for allocator in allocators:

@@ -59,7 +59,7 @@ from repro.analysis import TraceStore, simulate_arena, simulate_bsd, simulate_fi
 from repro.analysis import report as report_mod
 from repro.analysis.compare import diff_traces, render_diff
 from repro.analysis.inspect import lifetime_report, sites_report
-from repro.obs.metrics import METRICS, record_peak_rss
+from repro.obs.metrics import METRICS, Metrics, record_peak_rss
 from repro.analysis import tables as tables_mod
 from repro.bench import (
     BENCH_ALLOCATORS,
@@ -94,6 +94,8 @@ from repro.obs import (
 from repro.obs.export import DEFAULT_TELEMETRY_DIR
 from repro.obs.spans import TRACER, write_chrome_trace
 from repro.runtime.heap import HeapError
+from repro.runtime.shard import ShardedTraceSource
+from repro.runtime.stream.v3 import TraceFileSource
 from repro.runtime.tracefile import (
     TraceFormatError,
     convert_trace,
@@ -235,6 +237,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="telemetry sample interval in allocations "
                                f"(default {DEFAULT_SAMPLE_INTERVAL})")
     _add_stream_option(simulate)
+    simulate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="decode trace chunks with N worker "
+                               "processes (needs --stream and a v3 "
+                               "trace; output stays byte-identical)")
     simulate.set_defaults(handler=_cmd_simulate)
 
     convert = sub.add_parser(
@@ -304,6 +310,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the machine-readable summary instead "
                             "of the table")
     _add_stream_option(stats)
+    stats.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="decode trace chunks with N worker processes "
+                            "(needs --stream; output stays "
+                            "byte-identical)")
     stats.set_defaults(handler=_cmd_stats)
 
     timeline = sub.add_parser(
@@ -346,6 +356,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=list(BENCH_ALLOCATORS),
                            default=list(BENCH_ALLOCATORS), metavar="ALLOC",
                            help="restrict to these allocators (default: all)")
+    bench_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="replay through the sharded streaming "
+                                "path with N workers (records the same "
+                                "deterministic metrics; wall time is "
+                                "what changes)")
     bench_run.set_defaults(handler=_cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -534,8 +549,14 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _report_peak_rss() -> None:
-    """Record and print peak RSS (stderr, so stdout stays byte-identical)."""
-    print(f"peak rss: {record_peak_rss()} KB", file=sys.stderr)
+    """Record and print peak RSS (stderr, so stdout stays byte-identical).
+
+    Prints the registry's gauge rather than the fresh sample so the
+    figure covers merged worker snapshots too — the max across every
+    process that contributed, not just the parent.
+    """
+    record_peak_rss()
+    print(f"peak rss: {METRICS.counter('peak_rss_kb')} KB", file=sys.stderr)
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -546,8 +567,21 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.jobs > 1 and not args.stream:
+        raise ValueError(
+            "simulate: --jobs shards the streamed replay; add --stream"
+        )
     trace = open_trace_stream(args.trace) if args.stream \
         else load_trace(args.trace)
+    if args.jobs > 1:
+        if isinstance(trace, TraceFileSource):
+            trace = ShardedTraceSource(args.trace, jobs=args.jobs)
+        else:
+            print(
+                "simulate: --jobs needs a v3 (.rtr3) trace to shard; "
+                "replaying serially",
+                file=sys.stderr,
+            )
     telemetry = (
         Telemetry(interval=args.interval)
         if args.telemetry_out is not None else None
@@ -617,11 +651,15 @@ _TABLES = {
 
 
 def _make_store(args: argparse.Namespace) -> TraceStore:
+    streaming = getattr(args, "stream", False)
     return TraceStore(
         scale=args.scale,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
-        streaming=getattr(args, "stream", False),
+        streaming=streaming,
+        # Sharded decode only exists for file-backed streams; a
+        # materialized store ignores jobs, so don't pass it through.
+        jobs=getattr(args, "jobs", 1) if streaming else 1,
     )
 
 
@@ -686,6 +724,10 @@ def _replay_with_telemetry(args: argparse.Namespace) -> Telemetry:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.jobs > 1 and not args.stream:
+        raise ValueError(
+            "stats: --jobs shards the streamed replay; add --stream"
+        )
     telemetry = _replay_with_telemetry(args)
     if args.json:
         print(json.dumps(telemetry_summary(telemetry, top=args.top),
@@ -721,9 +763,12 @@ def _bench_scale(args: argparse.Namespace) -> float:
 
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ValueError(f"bench run: --jobs must be >= 1, got {args.jobs}")
     scale = _bench_scale(args)
     store = TraceStore(
-        scale=scale, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        scale=scale, cache_dir=args.cache_dir, use_cache=not args.no_cache,
+        streaming=args.jobs > 1, jobs=args.jobs,
     )
     bench_store = BenchStore(args.bench_dir)
     session = run_session(
@@ -732,6 +777,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         programs=args.programs,
         allocators=args.allocators,
         repeats=args.repeats,
+        extra_provenance={"replay_jobs": args.jobs},
     )
     path = bench_store.write(session)
     for rec in session.records:
@@ -748,10 +794,11 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             )
         print(line)
     sha = session.provenance.get("git_sha", "unknown")[:10]
+    jobs_note = f", jobs {args.jobs}" if args.jobs > 1 else ""
     print(
-        f"bench session {session.seq:04d} (sha {sha}, scale {scale}, "
-        f"{len(session.records)} benchmarks, min of {args.repeats}) "
-        f"-> {path}"
+        f"bench session {session.seq:04d} (sha {sha}, scale {scale}"
+        f"{jobs_note}, {len(session.records)} benchmarks, "
+        f"min of {args.repeats}) -> {path}"
     )
     return 0
 
@@ -934,12 +981,23 @@ def _cmd_audit_sites(args: argparse.Namespace) -> int:
 def _table_worker(
     key: str, scale: float, cache_dir: Optional[str], use_cache: bool,
     streaming: bool = False,
-) -> str:
-    """Child-process body of ``table --jobs N``: render one table."""
+) -> tuple:
+    """Child-process body of ``table --jobs N``: render one table.
+
+    Returns the rendered text plus a :meth:`Metrics.to_dict` snapshot —
+    workload runs, cache hits, and this worker's peak RSS — so the
+    parent can merge it; without the snapshot ``--stream``'s peak-RSS
+    note would report the parent process only and span/cache counters
+    would under-count (exactly the bug ``warm(jobs=N)`` fixed in its
+    own worker).
+    """
+    metrics = Metrics()
     store = TraceStore(scale=scale, cache_dir=cache_dir, use_cache=use_cache,
-                       streaming=streaming)
+                       streaming=streaming, metrics=metrics)
     compute, render = _TABLES[key]
-    return render(compute(store))
+    text = render(compute(store))
+    record_peak_rss(metrics)
+    return text, metrics.to_dict()
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -948,12 +1006,23 @@ def _cmd_table(args: argparse.Namespace) -> int:
         if key not in _TABLES:
             raise ValueError(f"no table {key!r} (have 1-9 or 'all')")
     store = _make_store(args)
-    if args.jobs > 1 and len(which) > 1:
+    parallel = args.jobs > 1 and len(which) > 1
+    if parallel and store.cache is None:
+        # Without the disk cache there is nowhere for the warm step to
+        # publish traces, so every worker would re-execute all five
+        # workloads per table — N x the serial work for no speedup.
+        print(
+            "table: --jobs needs the persistent trace cache to share "
+            "workload executions across workers; cache disabled, "
+            "rendering serially with one in-process store",
+            file=sys.stderr,
+        )
+        parallel = False
+    if parallel:
         # Publish the traces once through the disk cache, then render the
         # tables in parallel workers (each loads from the cache).  Output
         # order stays deterministic regardless of completion order.
-        if store.cache is not None:
-            store.warm(jobs=args.jobs)
+        store.warm(jobs=args.jobs)
         worker = partial(
             _table_worker,
             scale=args.scale,
@@ -962,10 +1031,17 @@ def _cmd_table(args: argparse.Namespace) -> int:
             streaming=args.stream,
         )
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-            for text in pool.map(worker, which):
+            for text, worker_metrics in pool.map(worker, which):
+                METRICS.merge(worker_metrics)
                 print(text)
                 print()
     else:
+        if args.jobs > 1 and len(which) == 1 and not args.stream:
+            print(
+                "table: --jobs on a single table parallelizes within the "
+                "trace, which needs the streamed path; add --stream",
+                file=sys.stderr,
+            )
         for key in which:
             compute, render = _TABLES[key]
             with TRACER.span("table.render", cat="table", table=key):

@@ -196,10 +196,27 @@ def train_site_predictor(
     with TRACER.span("profile.train_sites", cat="core",
                      program=program, dataset=dataset,
                      threshold=threshold):
-        profile = build_profile(
-            trace, chain_length=chain_length, size_rounding=size_rounding
-        )
-        selected = frozenset(profile.short_lived_sites(threshold))
+        if getattr(trace, "shard_jobs", 1) > 1:
+            # Selection reads only each site's max lifetime, an
+            # order-independent fold, so a sharded source trains the
+            # identical database in parallel.
+            from repro.runtime.shard import (
+                SiteSelectFold,
+                fold_object_lifetimes,
+            )
+
+            fold = fold_object_lifetimes(
+                trace,
+                lambda: SiteSelectFold(
+                    trace.header.chains, chain_length, size_rounding
+                ),
+            )
+            selected = fold.short_lived_sites(threshold)
+        else:
+            profile = build_profile(
+                trace, chain_length=chain_length, size_rounding=size_rounding
+            )
+            selected = frozenset(profile.short_lived_sites(threshold))
     return SitePredictor(
         selected,
         threshold=threshold,
@@ -219,6 +236,14 @@ def train_size_only_predictor(
     )
 
     source = as_event_source(trace)
+    if getattr(source, "shard_jobs", 1) > 1:
+        from repro.runtime.shard import SizeOnlyFold, fold_object_lifetimes
+
+        fold = fold_object_lifetimes(source, lambda: SizeOnlyFold(threshold))
+        selected = fold.short_lived_sizes()
+        return SizeOnlyPredictor(
+            selected, threshold=threshold, program=source.header.program
+        )
     per_size: Dict[int, bool] = {}
     for _, size, lifetime, _ in iter_object_lifetimes(source):
         short = lifetime < threshold
@@ -240,8 +265,15 @@ def actual_short_lived_bytes(trace: TraceLike, threshold: int) -> int:
         iter_object_lifetimes,
     )
 
+    source = as_event_source(trace)
+    if getattr(source, "shard_jobs", 1) > 1:
+        from repro.runtime.shard import ShortBytesFold, fold_object_lifetimes
+
+        return fold_object_lifetimes(
+            source, lambda: ShortBytesFold(threshold)
+        ).total
     total = 0
-    for _, size, lifetime, _ in iter_object_lifetimes(as_event_source(trace)):
+    for _, size, lifetime, _ in iter_object_lifetimes(source):
         if lifetime < threshold:
             total += size
     return total
@@ -332,6 +364,17 @@ def _evaluate(
     from repro.runtime.stream.protocol import iter_object_lifetimes
 
     header = source.header
+    if getattr(source, "shard_jobs", 1) > 1:
+        # Scoring is sums and set unions over objects, so a sharded
+        # source evaluates through the parallel map/reduce fold.
+        from repro.runtime.shard import EvaluateFold, fold_object_lifetimes
+
+        fold = fold_object_lifetimes(
+            source, lambda: EvaluateFold(predictor, header.chains)
+        )
+        return fold.result(
+            header, source.summary, count_matched_sites=count_matched_sites
+        )
     chain_of = header.chains.chain
     total_bytes = 0
     actual_short = 0

@@ -26,7 +26,7 @@ import sys
 from contextlib import contextmanager
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Set, Union
 
 __all__ = [
     "Metrics",
@@ -56,6 +56,7 @@ class Metrics:
     def __init__(self) -> None:
         self._timings: Dict[str, StageTiming] = {}
         self._counters: Dict[str, int] = {}
+        self._gauges: Set[str] = set()
 
     # ------------------------------------------------------------------
     # Recording
@@ -83,10 +84,12 @@ class Metrics:
     def set_max(self, name: str, value: int) -> None:
         """Raise counter ``name`` to ``value`` if it is below it.
 
-        A high-water-mark gauge (e.g. peak RSS): merging still *adds*
-        counters, which is correct for worker processes whose address
-        spaces are disjoint.
+        Marks ``name`` as a high-water-mark gauge (e.g. peak RSS):
+        :meth:`merge` takes the *max* of gauges rather than adding them —
+        worker peaks are concurrent highs of separate address spaces, and
+        summing them would report memory no process ever used.
         """
+        self._gauges.add(name)
         if value > self._counters.get(name, 0):
             self._counters[name] = value
 
@@ -116,6 +119,7 @@ class Metrics:
         """Drop all recorded timings and counters."""
         self._timings.clear()
         self._counters.clear()
+        self._gauges.clear()
 
     # ------------------------------------------------------------------
     # Aggregation and export
@@ -129,6 +133,7 @@ class Metrics:
                 for name, t in sorted(self._timings.items())
             },
             "counters": dict(sorted(self._counters.items())),
+            "gauges": sorted(self._gauges),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -138,9 +143,13 @@ class Metrics:
     def merge(self, other: Union["Metrics", Dict[str, dict]]) -> None:
         """Fold another registry (or its :meth:`to_dict` form) into this one.
 
-        Timings add call counts and seconds; counters add values.  This is
-        how per-worker measurements from a process pool reach the parent's
-        report instead of dying with the child.
+        Timings add call counts and seconds; counters add values — except
+        gauges (anything either side recorded via :meth:`set_max`), which
+        merge by maximum: a worker's peak RSS is a concurrent high, not a
+        disjoint contribution.  This is how per-worker measurements from a
+        process pool reach the parent's report instead of dying with the
+        child.  Snapshots from before gauges were tracked simply have no
+        ``"gauges"`` list and merge as pure counters.
         """
         if isinstance(other, Metrics):
             other = other.to_dict()
@@ -148,8 +157,12 @@ class Metrics:
             timing = self._timings.setdefault(name, StageTiming())
             timing.calls += int(entry["calls"])
             timing.seconds += float(entry["seconds"])
+        gauges = set(other.get("gauges", ()))
         for name, value in other.get("counters", {}).items():
-            self.incr(name, int(value))
+            if name in gauges or name in self._gauges:
+                self.set_max(name, int(value))
+            else:
+                self.incr(name, int(value))
 
     def report(self, title: Optional[str] = None) -> str:
         """A human-readable summary of every timing and counter."""

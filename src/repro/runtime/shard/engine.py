@@ -1,0 +1,133 @@
+"""Map/reduce over shards with a live-object handoff frontier.
+
+The map side (:func:`_shard_worker`) replays one shard's chunks and
+folds every object whose alloc *and* free both fall inside the shard.
+Objects that cross the boundary come back raw: ``opens`` (allocated
+here, not freed here) and ``closes`` (freed here, allocated earlier).
+
+The reduce side walks shards in trace order carrying the *frontier* —
+the live-object map at each shard boundary, exactly the dict the serial
+:func:`~repro.runtime.stream.protocol.iter_object_lifetimes` pass would
+hold at that point in the stream.  Each shard's closes resolve against
+the frontier (allocated in shard i, freed in shard j > i), then its
+opens join it.  Whatever survives the last shard is the never-freed
+set, folded with the trace convention (death at ``summary.end_time``,
+touches from ``summary.unfreed_touches``) in object-id order — the same
+tail the serial iterator emits.
+
+Determinism is structural: every object is folded exactly once with the
+same ``(chain_id, size, lifetime, touches)`` tuple the serial pass
+computes, and :class:`~repro.runtime.shard.folds.LifetimeFold` add/merge
+are order-independent by contract — so the merged fold state equals the
+serial fold state, not just approximately but field for field.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.runtime import tracefile
+from repro.runtime.stream.protocol import (
+    EV_ALLOC,
+    EV_FREE,
+    EventSource,
+    iter_object_lifetimes,
+)
+from repro.runtime.stream.v3 import TraceFileSource, read_chunk_events
+from repro.runtime.shard.folds import LifetimeFold
+from repro.runtime.shard.plan import Shard, plan_shards
+
+__all__ = ["fold_object_lifetimes"]
+
+#: opens: obj_id -> (chain_id, size, birth); closes: obj_id -> (death, touches)
+_Opens = Dict[int, Tuple[int, int, int]]
+_Closes = Dict[int, Tuple[int, int]]
+
+
+def _shard_worker(
+    path: str,
+    data_end: int,
+    shard: Shard,
+    fold: LifetimeFold,
+) -> Tuple[LifetimeFold, _Opens, _Closes]:
+    """Replay one shard; fold in-shard objects, report boundary crossers."""
+    live: _Opens = {}
+    closes: _Closes = {}
+    add = fold.add
+    for offset, count in shard.chunks:
+        for ev in read_chunk_events(path, offset, count, data_end):
+            tag = ev[0]
+            if tag == EV_ALLOC:
+                live[ev[1]] = (ev[2], ev[3], ev[4])
+            elif tag == EV_FREE:
+                entry = live.pop(ev[1], None)
+                if entry is None:
+                    closes[ev[1]] = (ev[2], ev[3])
+                else:
+                    chain_id, size, birth = entry
+                    add(chain_id, size, ev[2] - birth, ev[3])
+    return fold, live, closes
+
+
+def fold_object_lifetimes(
+    source: EventSource,
+    fold_factory: Callable[[], LifetimeFold],
+    jobs: Optional[int] = None,
+) -> LifetimeFold:
+    """Fold every object lifetime of ``source``, sharded when possible.
+
+    ``jobs`` defaults to the source's :attr:`shard_jobs` (1 for plain
+    sources), and anything that cannot shard — an in-memory source, one
+    worker, a single-chunk file — falls back to the serial
+    :func:`iter_object_lifetimes` pass, so this is always safe to call.
+    ``fold_factory`` builds one fresh fold per shard (plus the parent's
+    accumulator); it runs in the parent, and its folds travel to the
+    workers by pickling.
+    """
+    if jobs is None:
+        jobs = getattr(source, "shard_jobs", 1)
+    fold = fold_factory()
+    chunk_index = getattr(source, "chunk_index", None)
+    if (
+        jobs <= 1
+        or not isinstance(source, TraceFileSource)
+        or chunk_index is None
+        or len(chunk_index) <= 1
+    ):
+        add = fold.add
+        for chain_id, size, lifetime, touches in iter_object_lifetimes(source):
+            add(chain_id, size, lifetime, touches)
+        return fold
+
+    summary = source.summary
+    shards = plan_shards(chunk_index, jobs, event_count=summary.event_count)
+    path = source.path
+    data_end = source.data_end
+    frontier: _Opens = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
+        futures = [
+            pool.submit(_shard_worker, path, data_end, shard, fold_factory())
+            for shard in shards
+        ]
+        for future in futures:
+            shard_fold, opens, closes = future.result()
+            for obj_id, (death, touches) in closes.items():
+                entry = frontier.pop(obj_id, None)
+                if entry is None:
+                    raise tracefile.TraceFormatError(
+                        f"{path}: free of object {obj_id} with no "
+                        f"allocation in any earlier shard"
+                    )
+                chain_id, size, birth = entry
+                fold.add(chain_id, size, death - birth, touches)
+            frontier.update(opens)
+            fold.merge(shard_fold)
+    end_time = summary.end_time
+    unfreed_touches = dict(summary.unfreed_touches)
+    for obj_id in sorted(frontier):
+        chain_id, size, birth = frontier[obj_id]
+        fold.add(
+            chain_id, size, end_time - birth, unfreed_touches.get(obj_id, 0)
+        )
+    return fold

@@ -1,0 +1,236 @@
+"""Order-independent lifetime folds for the sharded replay engine.
+
+A :class:`LifetimeFold` consumes the same ``(chain_id, size, lifetime,
+touches)`` tuples :func:`~repro.runtime.stream.protocol.
+iter_object_lifetimes` yields, under two contracts that make it safe to
+run in parallel shards:
+
+* ``add`` must be order-independent — folding the same multiset of
+  objects in any order gives the same state; and
+* ``merge`` must be commutative and associative — merging per-shard
+  folds equals folding everything in one place.
+
+Instances cross the process boundary twice (empty to the worker, full
+back to the parent), so they must be picklable; everything they carry —
+chain tables, predictor databases, plain dicts and sets — is.
+
+The concrete folds mirror the pipeline's per-object accumulations:
+:class:`EvaluateFold` is :func:`repro.core.predictor.evaluate`'s body
+(integer sums plus key-set unions); :class:`SiteSelectFold` keeps only
+each site's maximum lifetime, which is all the paper's all-short-lived
+selection rule reads; :class:`SizeOnlyFold` AND-folds per-size
+shortness; :class:`ShortBytesFold` is the oracle byte sum.  The
+order-*dependent* accumulations (P^2 quantiles, live-byte high-water
+marks, allocator state) are deliberately absent — those replay through
+the ordered :class:`~repro.runtime.shard.source.ShardedTraceSource`
+instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.predictor import (
+    LifetimePredictor,
+    PredictionEvaluation,
+    SitePredictor,
+)
+from repro.core.sites import ChainTable, site_key
+from repro.runtime.stream.protocol import StreamHeader, StreamSummary
+
+__all__ = [
+    "LifetimeFold",
+    "EvaluateFold",
+    "SiteSelectFold",
+    "SizeOnlyFold",
+    "ShortBytesFold",
+]
+
+
+class LifetimeFold:
+    """Contract for per-object folds the shard engine parallelizes."""
+
+    def add(
+        self, chain_id: int, size: int, lifetime: int, touches: int
+    ) -> None:
+        """Fold one object (order-independent by contract)."""
+        raise NotImplementedError
+
+    def merge(self, other: "LifetimeFold") -> None:
+        """Fold another shard's state into this one (commutative)."""
+        raise NotImplementedError
+
+
+class EvaluateFold(LifetimeFold):
+    """The accumulators of :func:`repro.core.predictor.evaluate`.
+
+    Integer sums plus matched/test key-set unions — exactly the state
+    the serial ``_evaluate`` loop keeps, so :meth:`result` rebuilds an
+    identical :class:`~repro.core.predictor.PredictionEvaluation`.
+    """
+
+    def __init__(self, predictor: LifetimePredictor, chains: ChainTable):
+        self.predictor = predictor
+        self.chains = chains
+        self.total_bytes = 0
+        self.actual_short = 0
+        self.predicted_short = 0
+        self.error_bytes = 0
+        self.predicted_objects = 0
+        self.predicted_refs = 0
+        self.matched_keys: Set = set()
+        self.test_keys: Set = set()
+        self._site_based = isinstance(predictor, SitePredictor)
+
+    def add(
+        self, chain_id: int, size: int, lifetime: int, touches: int
+    ) -> None:
+        predictor = self.predictor
+        chain = self.chains.chain(chain_id)
+        self.total_bytes += size
+        short = lifetime < predictor.threshold
+        if short:
+            self.actual_short += size
+        if self._site_based:
+            key = predictor.key_for(chain, size)  # type: ignore[attr-defined]
+            self.test_keys.add(key)
+            hit = key in predictor.sites  # type: ignore[attr-defined]
+            if hit:
+                self.matched_keys.add(key)
+        else:
+            self.test_keys.add(size)
+            hit = predictor.predicts_short_lived(chain, size)
+            if hit:
+                self.matched_keys.add(size)
+        if hit:
+            self.predicted_objects += 1
+            self.predicted_refs += touches
+            if short:
+                self.predicted_short += size
+            else:
+                self.error_bytes += size
+
+    def merge(self, other: "EvaluateFold") -> None:
+        self.total_bytes += other.total_bytes
+        self.actual_short += other.actual_short
+        self.predicted_short += other.predicted_short
+        self.error_bytes += other.error_bytes
+        self.predicted_objects += other.predicted_objects
+        self.predicted_refs += other.predicted_refs
+        self.matched_keys |= other.matched_keys
+        self.test_keys |= other.test_keys
+
+    def result(
+        self,
+        header: StreamHeader,
+        summary: StreamSummary,
+        count_matched_sites: bool = True,
+    ) -> PredictionEvaluation:
+        """The finished evaluation (identical to the serial pass's)."""
+        sites_used = (
+            len(self.matched_keys) if count_matched_sites
+            else self.predictor.site_count
+        )
+        return PredictionEvaluation(
+            program=header.program,
+            dataset=header.dataset,
+            threshold=self.predictor.threshold,
+            total_sites=len(self.test_keys),
+            sites_used=sites_used,
+            total_bytes=self.total_bytes,
+            actual_short_bytes=self.actual_short,
+            predicted_short_bytes=self.predicted_short,
+            error_bytes=self.error_bytes,
+            predicted_objects=self.predicted_objects,
+            total_heap_refs=summary.heap_refs,
+            predicted_heap_refs=self.predicted_refs,
+        )
+
+
+class SiteSelectFold(LifetimeFold):
+    """Per-site maximum lifetime at one abstraction level.
+
+    The all-short-lived rule reads nothing else ("all objects lived
+    less than 32 kilobytes" is ``max_lifetime < threshold``), and max
+    is a commutative fold — so the sharded site predictor selects
+    exactly the serial trainer's frozenset, which is why the saved
+    databases stay byte-identical (the writer sorts its site list).
+    """
+
+    def __init__(
+        self,
+        chains: ChainTable,
+        chain_length: Optional[int],
+        size_rounding: int,
+    ):
+        self.chains = chains
+        self.chain_length = chain_length
+        self.size_rounding = size_rounding
+        self.max_lifetime: Dict = {}
+
+    def add(
+        self, chain_id: int, size: int, lifetime: int, touches: int
+    ) -> None:
+        key = site_key(
+            self.chains.chain(chain_id), size,
+            length=self.chain_length, size_rounding=self.size_rounding,
+        )
+        current = self.max_lifetime.get(key)
+        if current is None or lifetime > current:
+            self.max_lifetime[key] = lifetime
+
+    def merge(self, other: "SiteSelectFold") -> None:
+        mine = self.max_lifetime
+        for key, lifetime in other.max_lifetime.items():
+            current = mine.get(key)
+            if current is None or lifetime > current:
+                mine[key] = lifetime
+
+    def short_lived_sites(self, threshold: int) -> FrozenSet:
+        """Site keys whose every object died under ``threshold``."""
+        return frozenset(
+            key for key, lifetime in self.max_lifetime.items()
+            if lifetime < threshold
+        )
+
+
+class SizeOnlyFold(LifetimeFold):
+    """Per-size all-short-lived AND fold (the Table 5 ablation)."""
+
+    def __init__(self, threshold: int):
+        self.threshold = threshold
+        self.per_size: Dict[int, bool] = {}
+
+    def add(
+        self, chain_id: int, size: int, lifetime: int, touches: int
+    ) -> None:
+        short = lifetime < self.threshold
+        self.per_size[size] = self.per_size.get(size, True) and short
+
+    def merge(self, other: "SizeOnlyFold") -> None:
+        mine = self.per_size
+        for size, short in other.per_size.items():
+            mine[size] = mine.get(size, True) and short
+
+    def short_lived_sizes(self) -> FrozenSet[int]:
+        """Sizes whose every object died under the threshold."""
+        return frozenset(
+            size for size, short in self.per_size.items() if short
+        )
+
+
+class ShortBytesFold(LifetimeFold):
+    """Oracle sum: bytes of objects that truly died under threshold."""
+
+    def __init__(self, threshold: int):
+        self.threshold = threshold
+        self.total = 0
+
+    def add(
+        self, chain_id: int, size: int, lifetime: int, touches: int
+    ) -> None:
+        if lifetime < self.threshold:
+            self.total += size
+
+    def merge(self, other: "ShortBytesFold") -> None:
+        self.total += other.total

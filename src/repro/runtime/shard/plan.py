@@ -1,0 +1,88 @@
+"""Shard planning over the v3 footer chunk index.
+
+A shard is a *contiguous* run of E-frame chunks — contiguity is what
+makes the reduction deterministic: walking shards in index order is
+walking the trace in program order, so the live-object handoff frontier
+in :mod:`repro.runtime.shard.engine` sees every allocation before the
+shard that frees it.
+
+:func:`plan_shards` balances shards by event count (chunks are all the
+same nominal size except the last, but a plan must not care), is a pure
+function of the index and the job count, and validates the index's
+declared totals against the footer's event count so a damaged file
+fails loudly before any worker starts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.runtime import tracefile
+
+__all__ = ["Shard", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous slice of a trace's chunk index.
+
+    ``chunks`` holds ``(offset, event_count)`` entries exactly as the
+    footer records them; ``index`` is the shard's position in trace
+    order (the reducer folds shards in this order).
+    """
+
+    index: int
+    chunks: Tuple[Tuple[int, int], ...]
+
+    @property
+    def event_count(self) -> int:
+        """Events this shard decodes."""
+        return sum(count for _, count in self.chunks)
+
+
+def plan_shards(
+    chunk_index: Iterable[Tuple[int, int]],
+    jobs: int,
+    event_count: Optional[int] = None,
+) -> Tuple[Shard, ...]:
+    """Partition ``chunk_index`` into at most ``jobs`` balanced shards.
+
+    Boundaries fall where the cumulative event count crosses ``k/jobs``
+    of the total (integer arithmetic only, so the plan is deterministic
+    for a given index), constrained so every shard gets at least one
+    chunk.  Passing the footer's ``event_count`` cross-checks the
+    index's declared totals; a mismatch raises
+    :class:`~repro.runtime.tracefile.TraceFormatError`.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    chunks = tuple((int(off), int(count)) for off, count in chunk_index)
+    total = sum(count for _, count in chunks)
+    if event_count is not None and total != event_count:
+        raise tracefile.TraceFormatError(
+            f"chunk index declares {total} events, footer declares "
+            f"{event_count}"
+        )
+    if not chunks:
+        return ()
+    bound = min(jobs, len(chunks))
+    cumulative = []
+    running = 0
+    for _, count in chunks:
+        running += count
+        cumulative.append(running)
+    boundaries = [0]
+    for k in range(1, bound):
+        target = (total * k + bound - 1) // bound
+        split = bisect_left(cumulative, target) + 1
+        # Keep every shard non-empty: at least one chunk behind this
+        # boundary, and enough chunks left for the shards after it.
+        split = max(boundaries[-1] + 1, min(split, len(chunks) - (bound - k)))
+        boundaries.append(split)
+    boundaries.append(len(chunks))
+    return tuple(
+        Shard(index=i, chunks=chunks[boundaries[i]:boundaries[i + 1]])
+        for i in range(bound)
+    )

@@ -1,0 +1,94 @@
+"""Ordered chunk-parallel decoding of a v3 trace file.
+
+:class:`ShardedTraceSource` is a drop-in
+:class:`~repro.runtime.stream.v3.TraceFileSource` whose :meth:`events`
+ships chunk *decoding* — the gzip + JSON + tuple-validation work that
+dominates a streamed replay — to a process pool, while the parent
+yields decoded chunks strictly in index order.
+
+That ordering is the determinism argument for every order-*dependent*
+consumer: the event sequence this source yields is identical, tuple for
+tuple, to the serial reader's, so history-dependent folds (allocator
+free lists in the Table 7-9 replays, the P^2 quantile trainers,
+telemetry sampling) see exactly the serial input and produce
+byte-identical output by construction.  Order-*independent* per-object
+folds can do better — skip the parent bottleneck entirely and fold
+inside the workers — which is what :mod:`repro.runtime.shard.engine`
+provides; consumers dispatch on :attr:`ShardedTraceSource.shard_jobs`
+to pick that path up.
+
+Memory stays bounded: at most ``jobs + 1`` chunks are in flight (one
+decoded in the parent, the rest as pending futures), so the streamed
+replay's O(live objects + one chunk) model degrades only to O(live
+objects + jobs chunks) — the sharded CI smoke test runs under the same
+self-calibrated RLIMIT_AS cap as the serial stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator
+
+from repro.runtime import tracefile
+from repro.runtime.stream.protocol import Event
+from repro.runtime.stream.v3 import TraceFileSource, read_chunk_events
+
+__all__ = ["ShardedTraceSource"]
+
+
+class ShardedTraceSource(TraceFileSource):
+    """A v3 file source that decodes chunks in worker processes.
+
+    ``jobs`` is the worker count; ``jobs=1`` (or a single-chunk file)
+    falls back to the serial reader, so wrapping is always safe.  Each
+    :meth:`events` call owns its pool, so one source still supports the
+    repeated replays Table 8 performs.  Construction additionally
+    cross-checks the chunk index's event totals against the footer —
+    the sharded paths trust the index, the serial reader does not need
+    to.
+    """
+
+    def __init__(self, path: "tracefile.PathLike", jobs: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        super().__init__(path)
+        declared = sum(count for _, count in self.chunk_index)
+        if declared != self.summary.event_count:
+            raise tracefile.TraceFormatError(
+                f"{self.path}: chunk index declares {declared} events, "
+                f"footer declares {self.summary.event_count}"
+            )
+        self.jobs = jobs
+
+    @property
+    def shard_jobs(self) -> int:
+        """Worker count; shardable fold consumers dispatch on this."""
+        return self.jobs
+
+    def events(self) -> Iterator[Event]:
+        if self.jobs <= 1 or len(self.chunk_index) <= 1:
+            yield from super().events()
+            return
+        chunks = self.chunk_index
+        window = self.jobs + 1
+        yielded = 0
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            pending = deque()
+            index = 0
+            while index < len(chunks) or pending:
+                while index < len(chunks) and len(pending) < window:
+                    offset, count = chunks[index]
+                    pending.append(pool.submit(
+                        read_chunk_events,
+                        self.path, offset, count, self.data_end,
+                    ))
+                    index += 1
+                decoded = pending.popleft().result()
+                yielded += len(decoded)
+                yield from decoded
+        if yielded != self.summary.event_count:
+            raise tracefile.TraceFormatError(
+                f"{self.path}: sharded decode produced {yielded} events, "
+                f"footer declares {self.summary.event_count}"
+            )

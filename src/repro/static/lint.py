@@ -90,6 +90,7 @@ _DETERMINISTIC_SCOPES = (
     "repro/analysis/",
     "repro/bench/",
     "repro/core/",
+    "repro/runtime/shard",
     "repro/runtime/stream",
     "repro/static/",
 )

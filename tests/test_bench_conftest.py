@@ -81,7 +81,9 @@ class TestMetricsDump:
         assert prov["scale"] == 0.25
         assert prov["schema_version"] == 1
         assert "git_sha" in prov and "python" in prov
-        assert set(payload) == {"provenance", "timings", "counters"}
+        assert set(payload) == {
+            "provenance", "timings", "counters", "gauges",
+        }
 
     def test_terminal_summary_writes_metrics_json(self, bench_conftest,
                                                   monkeypatch, tmp_path):

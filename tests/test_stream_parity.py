@@ -10,6 +10,10 @@ trained predictor databases must serialize to identical bytes.
 One module-scoped fixture runs the five workloads (train + test datasets)
 at scale 0.05; everything downstream reuses those runs via the shared
 cache directory.
+
+The sharded tests replay the same cache through a ``jobs=2`` store
+(DESIGN.md §11): chunk-parallel decode plus the map/reduce lifetime
+folds must hold the same byte-identity bar the serial stream does.
 """
 
 from __future__ import annotations
@@ -52,6 +56,18 @@ def stores(tmp_path_factory):
     return materialized, streaming
 
 
+@pytest.fixture(scope="module")
+def sharded_store(stores):
+    """A jobs=2 streaming store over the same converted v3 cache."""
+    _, streaming = stores
+    return TraceStore(
+        scale=SCALE,
+        cache_dir=streaming.cache.directory,
+        streaming=True,
+        jobs=2,
+    )
+
+
 def test_streaming_store_replays_files_not_memory(stores):
     _, streaming = stores
     assert isinstance(streaming.source("gawk"), TraceFileSource)
@@ -85,3 +101,35 @@ def test_cce_predictors_agree(stores):
             streaming.cce_predictor(program).keys
             == materialized.cce_predictor(program).keys
         ), program
+
+
+def test_sharded_store_hands_out_sharded_sources(stores, sharded_store):
+    from repro.runtime.shard import ShardedTraceSource
+
+    source = sharded_store.source("gawk")
+    assert isinstance(source, ShardedTraceSource)
+    assert source.shard_jobs == 2
+
+
+def test_sharded_tables_4_7_8_are_byte_identical(stores, sharded_store):
+    """The five-workload sharded parity gate (ISSUE 6 acceptance)."""
+    materialized, _ = stores
+    renderers = (
+        (table4, report.render_table4),
+        (table7, report.render_table7),
+        (table8, report.render_table8),
+    )
+    for build, render in renderers:
+        assert render(build(sharded_store)) == render(build(materialized))
+
+
+def test_sharded_predictor_databases_are_byte_identical(
+    stores, sharded_store, tmp_path
+):
+    materialized, _ = stores
+    for program in PROGRAM_ORDER:
+        mat_path = tmp_path / f"{program}-materialized.db"
+        shard_path = tmp_path / f"{program}-sharded.db"
+        save_predictor(materialized.predictor(program), mat_path)
+        save_predictor(sharded_store.predictor(program), shard_path)
+        assert shard_path.read_bytes() == mat_path.read_bytes(), program
