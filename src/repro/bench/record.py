@@ -127,6 +127,12 @@ class BenchSession:
     provenance: Dict[str, Any]
     records: List[BenchRecord]
     schema_version: int = BENCH_SCHEMA_VERSION
+    #: Optional per-program top-K site attribution summaries
+    #: (:meth:`repro.obs.attrib.AttributionProfile.summary_dict`), keyed
+    #: by program name.  Deterministic but ungated: the comparator reads
+    #: only ``records``, so attaching attribution never moves the bench
+    #: gate — it explains regressions, it does not define them.
+    attribution: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def scale(self) -> float:
@@ -141,12 +147,15 @@ class BenchSession:
         raise KeyError(name)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema_version": self.schema_version,
             "seq": self.seq,
             "provenance": dict(self.provenance),
             "records": [rec.to_dict() for rec in self.records],
         }
+        if self.attribution:
+            data["attribution"] = dict(self.attribution)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BenchSession":
@@ -157,4 +166,5 @@ class BenchSession:
                 BenchRecord.from_dict(rec) for rec in data.get("records", [])
             ],
             schema_version=int(data["schema_version"]),
+            attribution=dict(data.get("attribution", {})),
         )

@@ -12,7 +12,10 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc warm --jobs 4
     repro-alloc table all
     repro-alloc stats --program gawk
+    repro-alloc stats --program gawk --json --diff old-summary.json
     repro-alloc timeline --program gawk --allocator arena
+    repro-alloc profile-sites --program gawk --stream --jobs 2
+    repro-alloc diff-sessions old.attrib.json new.attrib.json
     repro-alloc bench run --scale 0.05
     repro-alloc bench compare
     repro-alloc bench history --json
@@ -29,7 +32,14 @@ columns); ``simulate`` replays a trace against an allocator (with
 cache (optionally in parallel); ``table`` regenerates the paper's
 tables; ``stats`` and ``timeline`` replay one workload with the
 telemetry recorder attached and report per-site mispredictions or the
-heap time series (see :mod:`repro.obs`); ``bench`` runs the benchmark
+heap time series (see :mod:`repro.obs`); ``profile-sites`` attributes
+simulated instruction cost, heap occupancy, fragmentation, and
+misprediction penalties per allocation site and exports JSON/CSV plus a
+flamegraph-ready collapsed-stack view (see :mod:`repro.obs.attrib`);
+``diff-sessions`` compares two recorded sessions (attribution exports,
+telemetry summaries, or bench sessions) and exits nonzero on a per-site
+regression — ``stats --diff OTHER`` does the same inline (see
+:mod:`repro.obs.diff`); ``bench`` runs the benchmark
 suite into the ``BENCH_<seq>.json`` trajectory and gates regressions
 (see :mod:`repro.bench`); ``lint`` runs the alloclint contract rules
 and ``audit-sites`` diffs static allocation sites against the trace
@@ -90,6 +100,19 @@ from repro.obs import (
     render_stats,
     render_timeline,
     telemetry_summary,
+)
+from repro.obs.attrib import (
+    ATTRIB_PROFILES,
+    attribute_sites,
+    export_attribution,
+    render_attrib,
+)
+from repro.obs.diff import (
+    DEFAULT_REL_THRESHOLD,
+    diff_documents,
+    diff_paths,
+    load_session_doc,
+    render_diff_report,
 )
 from repro.obs.export import DEFAULT_TELEMETRY_DIR
 from repro.obs.spans import TRACER, write_chrome_trace
@@ -314,7 +337,74 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="decode trace chunks with N worker processes "
                             "(needs --stream; output stays "
                             "byte-identical)")
+    stats.add_argument("--diff", metavar="SUMMARY", default=None,
+                       help="diff this recorded telemetry summary JSON "
+                            "(old) against the current replay (new); "
+                            "exits 1 on a regression verdict")
+    stats.add_argument("--rel-threshold", type=float,
+                       default=DEFAULT_REL_THRESHOLD,
+                       help="relative change below which a --diff metric "
+                            "counts as unchanged "
+                            f"(default {DEFAULT_REL_THRESHOLD})")
     stats.set_defaults(handler=_cmd_stats)
+
+    profile_sites = sub.add_parser(
+        "profile-sites",
+        help="attribute cost/occupancy/fragmentation per allocation site",
+    )
+    profile_sites.add_argument("--program", required=True,
+                               choices=PROGRAM_ORDER,
+                               help="workload to attribute")
+    profile_sites.add_argument("--dataset", default="test",
+                               help="dataset to attribute (default test)")
+    profile_sites.add_argument("--profile", default="arena",
+                               choices=list(ATTRIB_PROFILES),
+                               help="allocator cost profile (default arena: "
+                                    "a predictor decides placement)")
+    profile_sites.add_argument("--sites", default=None,
+                               help="site database for the arena profile "
+                                    "(default: train on the program's "
+                                    "train dataset)")
+    profile_sites.add_argument("--threshold", type=int, default=None,
+                               help="short-lived cutoff in bytes (default: "
+                                    "the predictor's, else 32768)")
+    profile_sites.add_argument("--top", type=int, default=10,
+                               help="sites to list in the table "
+                                    "(default 10)")
+    profile_sites.add_argument("--json", action="store_true",
+                               help="print the attribution document "
+                                    "instead of the table")
+    profile_sites.add_argument("--out-dir", metavar="DIR",
+                               default=str(DEFAULT_TELEMETRY_DIR),
+                               help="where to write the JSON/CSV/"
+                                    "collapsed-stack artifacts "
+                                    f"(default {DEFAULT_TELEMETRY_DIR})")
+    _add_store_options(profile_sites)
+    _add_stream_option(profile_sites)
+    profile_sites.add_argument("--jobs", type=int, default=1, metavar="N",
+                               help="shard the attribution fold over N "
+                                    "worker processes (needs --stream; "
+                                    "output stays byte-identical)")
+    profile_sites.set_defaults(handler=_cmd_profile_sites)
+
+    diff_sessions = sub.add_parser(
+        "diff-sessions",
+        help="regression verdicts between two recorded sessions",
+    )
+    diff_sessions.add_argument("old", help="baseline session file "
+                                           "(attribution export, telemetry "
+                                           "summary, or bench session)")
+    diff_sessions.add_argument("new", help="candidate session file "
+                                           "(same kind as OLD)")
+    diff_sessions.add_argument("--rel-threshold", type=float,
+                               default=DEFAULT_REL_THRESHOLD,
+                               help="relative change below which a metric "
+                                    "counts as unchanged "
+                                    f"(default {DEFAULT_REL_THRESHOLD})")
+    diff_sessions.add_argument("--json", action="store_true",
+                               help="print the diff as JSON instead of "
+                                    "the report")
+    diff_sessions.set_defaults(handler=_cmd_diff_sessions)
 
     timeline = sub.add_parser(
         "timeline", help="heap telemetry time series for one workload"
@@ -729,14 +819,66 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "stats: --jobs shards the streamed replay; add --stream"
         )
     telemetry = _replay_with_telemetry(args)
+    summary = telemetry_summary(telemetry, top=args.top)
     if args.json:
-        print(json.dumps(telemetry_summary(telemetry, top=args.top),
-                         indent=2, sort_keys=True))
+        print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_stats(telemetry, top=args.top))
+    exit_code = 0
+    if args.diff:
+        result = diff_documents(
+            load_session_doc(args.diff), summary,
+            rel_threshold=args.rel_threshold,
+        )
+        print(render_diff_report(result))
+        exit_code = 1 if result.regressed else 0
+    if args.stream:
+        _report_peak_rss()
+    return exit_code
+
+
+def _cmd_profile_sites(args: argparse.Namespace) -> int:
+    if args.jobs > 1 and not args.stream:
+        raise ValueError(
+            "profile-sites: --jobs shards the streamed fold; add --stream"
+        )
+    store = _make_store(args)
+    source = store.source(args.program, args.dataset)
+    predictor = None
+    if args.profile == "arena":
+        predictor = (
+            load_predictor(args.sites) if args.sites
+            else store.predictor(args.program)
+        )
+    profile = attribute_sites(
+        source,
+        profile=args.profile,
+        predictor=predictor,
+        threshold=args.threshold,
+    )
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_attrib(profile, top=args.top))
+    # Artifact notices go to stderr so stdout stays byte-identical
+    # across the materialized / --stream / --jobs replay modes (gated
+    # in CI and tests/test_stream_parity.py).
+    paths = export_attribution(profile, Path(args.out_dir))
+    for kind in sorted(paths):
+        print(f"attribution {kind}: {paths[kind]}", file=sys.stderr)
     if args.stream:
         _report_peak_rss()
     return 0
+
+
+def _cmd_diff_sessions(args: argparse.Namespace) -> int:
+    result = diff_paths(args.old, args.new,
+                        rel_threshold=args.rel_threshold)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff_report(result))
+    return 1 if result.regressed else 0
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
@@ -779,6 +921,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         extra_provenance={"replay_jobs": args.jobs},
     )
+    # Attach the top-K site attribution per program so a regressed
+    # session explains *which sites* paid.  Deterministic but ungated:
+    # the comparator reads only the records.
+    if "arena" in args.allocators:
+        for program in args.programs or PROGRAM_ORDER:
+            profile = attribute_sites(
+                store.source(program, "test"),
+                profile="arena",
+                predictor=store.predictor(program),
+            )
+            session.attribution[program] = profile.summary_dict(top=10)
     path = bench_store.write(session)
     for rec in session.records:
         line = (

@@ -16,7 +16,11 @@ halves that share one counter backend:
   resolution, training, replay, table rendering) and exports them as
   Chrome trace-event JSON for Perfetto.
 
-:mod:`repro.obs.export` writes JSONL/JSON/CSV artifacts and
+:mod:`repro.obs.export` writes JSONL/JSON/CSV artifacts,
+:mod:`repro.obs.attrib` attributes simulated cost / occupancy /
+fragmentation / misprediction penalties per allocation site (an
+order-independent fold, so it shards), :mod:`repro.obs.diff` diffs two
+recorded sessions into per-site regression verdicts, and
 :mod:`repro.obs.report` renders the ``stats`` / ``timeline`` CLI views
 plus the folded-stack span view.
 """
@@ -38,6 +42,21 @@ from repro.obs.spans import (
     write_chrome_trace,
 )
 from repro.obs.export import export_timeline, telemetry_summary, write_jsonl
+from repro.obs.attrib import (
+    AttributionFold,
+    AttributionProfile,
+    SiteAttribution,
+    attribute_sites,
+    export_attribution,
+    render_attrib,
+)
+from repro.obs.diff import (
+    DiffResult,
+    MetricDelta,
+    diff_documents,
+    diff_paths,
+    render_diff_report,
+)
 from repro.obs.report import (
     render_folded,
     render_stats,
@@ -64,6 +83,17 @@ __all__ = [
     "export_timeline",
     "telemetry_summary",
     "write_jsonl",
+    "AttributionFold",
+    "AttributionProfile",
+    "SiteAttribution",
+    "attribute_sites",
+    "export_attribution",
+    "render_attrib",
+    "DiffResult",
+    "MetricDelta",
+    "diff_documents",
+    "diff_paths",
+    "render_diff_report",
     "render_stats",
     "render_timeline",
     "sparkline",

@@ -76,6 +76,10 @@ def telemetry_summary(telemetry: Telemetry, top: int = 20) -> Dict[str, Any]:
         "threshold": telemetry.threshold,
         "sample_count": len(telemetry.samples),
         "totals": telemetry.totals(),
+        # High-water-mark gauges (peak_rss_kb et al.) from the replay's
+        # metrics registry.  Environment-dependent — diff tooling treats
+        # them as informational, and the byte-identity tests strip them.
+        "gauges": telemetry.metrics.gauge_values(),
         "top_misprediction_sites": [
             {
                 "chain": list(chain),

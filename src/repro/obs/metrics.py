@@ -115,6 +115,19 @@ class Metrics:
         """Snapshot of all counters."""
         return dict(self._counters)
 
+    def gauge_values(self) -> Dict[str, int]:
+        """Current value of every high-water-mark gauge, sorted by name.
+
+        Gauges are the counters recorded via :meth:`set_max` (e.g.
+        ``peak_rss_kb``); exporters ship them as their own section so
+        diff tooling can treat them as informational rather than
+        additive counters.
+        """
+        return {
+            name: self._counters.get(name, 0)
+            for name in sorted(self._gauges)
+        }
+
     def reset(self) -> None:
         """Drop all recorded timings and counters."""
         self._timings.clear()

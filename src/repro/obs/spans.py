@@ -66,6 +66,10 @@ class Span:
     seq: int
     path: Tuple[str, ...]
     args: Dict[str, Any] = field(default_factory=dict)
+    #: Logical thread lane for export.  Spans recorded in this process
+    #: are lane 1; spans absorbed from pool workers keep their worker's
+    #: lane so Perfetto shows parallel chunk decodes side by side.
+    tid: int = 1
 
     @property
     def end_us(self) -> int:
@@ -207,6 +211,65 @@ class SpanTracer:
         """Every finished span with ``name``, in enter order."""
         return [s for s in self.sorted_spans() if s.name == name]
 
+    # ------------------------------------------------------------------
+    # Cross-process merging (mirrors Metrics.merge for pool workers)
+    # ------------------------------------------------------------------
+
+    def state(self, start: int = 0) -> List[Dict[str, Any]]:
+        """The spans recorded since index ``start`` as a picklable snapshot.
+
+        A pool worker tracing its own work calls this on exit and returns
+        the snapshot with its result; the parent folds it back in with
+        :meth:`absorb`.  ``start`` lets a reused pool process snapshot
+        only the spans of the current task.
+        """
+        spans = sorted(self.spans[start:], key=lambda s: s.seq)
+        return [
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ts_us": s.ts_us,
+                "dur_us": s.dur_us,
+                "depth": s.depth,
+                "path": list(s.path),
+                "args": dict(s.args),
+            }
+            for s in spans
+        ]
+
+    def absorb(self, state: List[Dict[str, Any]], tid: int = 1) -> None:
+        """Fold a worker's :meth:`state` snapshot into this tracer.
+
+        Worker timestamps are offsets from the *worker's* clock origin,
+        so they are shifted onto this tracer's timeline by anchoring the
+        snapshot's latest end at the parent's current time (the moment
+        the result crossed the pool boundary) and clamping at zero.
+        Paths gain the parent's currently-open stack as a prefix, depths
+        shift to match, sequence numbers are reassigned from the parent
+        counter, and every absorbed span lands on lane ``tid`` so
+        exports show worker activity beside the parent's.
+        """
+        if not self._enabled or not state:
+            return
+        now = self._now_us()
+        offset = now - max(s["ts_us"] + s["dur_us"] for s in state)
+        prefix = tuple(self._stack)
+        for item in sorted(state, key=lambda s: (s["ts_us"], s["depth"])):
+            self.spans.append(
+                Span(
+                    name=item["name"],
+                    cat=item["cat"],
+                    ts_us=max(0, item["ts_us"] + offset),
+                    dur_us=item["dur_us"],
+                    depth=item["depth"] + len(prefix),
+                    seq=self._seq,
+                    path=prefix + tuple(item["path"]),
+                    args=dict(item["args"]),
+                    tid=tid,
+                )
+            )
+            self._seq += 1
+
 
 #: Process-wide tracer, disabled by default.  The CLI's ``--spans-out``
 #: flag and the benchmark conftest's ``REPRO_SPANS_OUT`` hook enable it.
@@ -239,10 +302,12 @@ def chrome_trace(tracer: SpanTracer,
                  process_name: str = "repro-alloc") -> Dict[str, Any]:
     """The tracer's spans as a Chrome trace-event document.
 
-    One ``ph: "X"`` (complete) event per span on a single pid/tid;
-    nesting is carried by timestamp containment, which holds by
-    construction because a child span starts after and ends before its
-    parent.  Perfetto and ``chrome://tracing`` both load the result.
+    One ``ph: "X"`` (complete) event per span; spans recorded in this
+    process land on tid 1 and spans absorbed from pool workers keep
+    their worker lane.  Nesting within a lane is carried by timestamp
+    containment, which holds by construction because a child span starts
+    after and ends before its parent.  Perfetto and ``chrome://tracing``
+    both load the result.
     """
     events: List[Dict[str, Any]] = [
         {
@@ -261,7 +326,7 @@ def chrome_trace(tracer: SpanTracer,
             "ts": span.ts_us,
             "dur": span.dur_us,
             "pid": 1,
-            "tid": 1,
+            "tid": span.tid,
         }
         if span.args:
             event["args"] = {

@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.predictor import DEFAULT_THRESHOLD
 from repro.core.sites import CallChain
-from repro.obs.metrics import METRICS, Metrics
+from repro.obs.metrics import METRICS, Metrics, record_peak_rss
 
 __all__ = [
     "DEFAULT_SAMPLE_INTERVAL",
@@ -218,6 +218,7 @@ class Telemetry:
         self.metrics.incr("telemetry.samples", len(self.samples))
         for kind in MISPREDICTION_KINDS:
             self.metrics.incr(f"telemetry.mispredict.{kind}", totals[kind])
+        record_peak_rss(self.metrics)
         if self._allocator is not None:
             self._allocator.attach_probe(None)
 

@@ -25,8 +25,9 @@ serial fold state, not just approximately but field for field.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.spans import TRACER
 from repro.runtime import tracefile
 from repro.runtime.stream.protocol import (
     EV_ALLOC,
@@ -50,24 +51,38 @@ def _shard_worker(
     data_end: int,
     shard: Shard,
     fold: LifetimeFold,
-) -> Tuple[LifetimeFold, _Opens, _Closes]:
-    """Replay one shard; fold in-shard objects, report boundary crossers."""
+    trace_spans: bool = False,
+) -> Tuple[LifetimeFold, _Opens, _Closes, Optional[List[Dict[str, Any]]]]:
+    """Replay one shard; fold in-shard objects, report boundary crossers.
+
+    With ``trace_spans`` the worker records its own ``shard.fold`` span
+    and ships the snapshot back for the parent tracer to absorb — pool
+    processes are reused, so only spans recorded past the entry mark
+    belong to this task.
+    """
+    mark = 0
+    if trace_spans:
+        TRACER.enable()
+        mark = len(TRACER.spans)
     live: _Opens = {}
     closes: _Closes = {}
     add = fold.add
-    for offset, count in shard.chunks:
-        for ev in read_chunk_events(path, offset, count, data_end):
-            tag = ev[0]
-            if tag == EV_ALLOC:
-                live[ev[1]] = (ev[2], ev[3], ev[4])
-            elif tag == EV_FREE:
-                entry = live.pop(ev[1], None)
-                if entry is None:
-                    closes[ev[1]] = (ev[2], ev[3])
-                else:
-                    chain_id, size, birth = entry
-                    add(chain_id, size, ev[2] - birth, ev[3])
-    return fold, live, closes
+    with TRACER.span("shard.fold", cat="shard",
+                     shard=shard.index, chunks=len(shard.chunks)):
+        for offset, count in shard.chunks:
+            for ev in read_chunk_events(path, offset, count, data_end):
+                tag = ev[0]
+                if tag == EV_ALLOC:
+                    live[ev[1]] = (ev[2], ev[3], ev[4])
+                elif tag == EV_FREE:
+                    entry = live.pop(ev[1], None)
+                    if entry is None:
+                        closes[ev[1]] = (ev[2], ev[3])
+                    else:
+                        chain_id, size, birth = entry
+                        add(chain_id, size, ev[2] - birth, ev[3])
+    span_state = TRACER.state(mark) if trace_spans else None
+    return fold, live, closes, span_state
 
 
 def fold_object_lifetimes(
@@ -105,13 +120,17 @@ def fold_object_lifetimes(
     path = source.path
     data_end = source.data_end
     frontier: _Opens = {}
+    trace_spans = TRACER.enabled
     with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
         futures = [
-            pool.submit(_shard_worker, path, data_end, shard, fold_factory())
+            pool.submit(_shard_worker, path, data_end, shard,
+                        fold_factory(), trace_spans)
             for shard in shards
         ]
-        for future in futures:
-            shard_fold, opens, closes = future.result()
+        for index, future in enumerate(futures):
+            shard_fold, opens, closes, span_state = future.result()
+            if span_state:
+                TRACER.absorb(span_state, tid=2 + (index % jobs))
             for obj_id, (death, touches) in closes.items():
                 entry = frontier.pop(obj_id, None)
                 if entry is None:

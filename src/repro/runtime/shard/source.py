@@ -28,13 +28,37 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterator
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.spans import TRACER
 from repro.runtime import tracefile
 from repro.runtime.stream.protocol import Event
 from repro.runtime.stream.v3 import TraceFileSource, read_chunk_events
 
 __all__ = ["ShardedTraceSource"]
+
+
+def _decode_chunk_job(
+    path: "tracefile.PathLike",
+    offset: int,
+    count: int,
+    data_end: int,
+    trace_spans: bool = False,
+) -> Tuple[List[Event], Optional[List[Dict[str, Any]]]]:
+    """Decode one chunk in a pool worker, optionally under a span.
+
+    Returns the decoded events plus the worker's span snapshot (None
+    when tracing is off) for the parent tracer to absorb — mirroring
+    the Metrics-snapshot merge that keeps worker timings visible.
+    """
+    if not trace_spans:
+        return read_chunk_events(path, offset, count, data_end), None
+    TRACER.enable()
+    mark = len(TRACER.spans)
+    with TRACER.span("shard.decode", cat="shard",
+                     offset=offset, events=count):
+        events = read_chunk_events(path, offset, count, data_end)
+    return events, TRACER.state(mark)
 
 
 class ShardedTraceSource(TraceFileSource):
@@ -73,18 +97,23 @@ class ShardedTraceSource(TraceFileSource):
         chunks = self.chunk_index
         window = self.jobs + 1
         yielded = 0
+        trace_spans = TRACER.enabled
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             pending = deque()
             index = 0
             while index < len(chunks) or pending:
                 while index < len(chunks) and len(pending) < window:
                     offset, count = chunks[index]
-                    pending.append(pool.submit(
-                        read_chunk_events,
+                    pending.append((index, pool.submit(
+                        _decode_chunk_job,
                         self.path, offset, count, self.data_end,
-                    ))
+                        trace_spans,
+                    )))
                     index += 1
-                decoded = pending.popleft().result()
+                chunk_no, future = pending.popleft()
+                decoded, span_state = future.result()
+                if span_state:
+                    TRACER.absorb(span_state, tid=2 + (chunk_no % self.jobs))
                 yielded += len(decoded)
                 yield from decoded
         if yielded != self.summary.event_count:

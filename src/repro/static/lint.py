@@ -90,6 +90,8 @@ _DETERMINISTIC_SCOPES = (
     "repro/analysis/",
     "repro/bench/",
     "repro/core/",
+    "repro/obs/attrib",
+    "repro/obs/diff",
     "repro/runtime/shard",
     "repro/runtime/stream",
     "repro/static/",

@@ -48,13 +48,15 @@ from tests.conftest import make_churn_trace
 THRESHOLD = 4096
 
 
-def _lossy_worker(path, data_end, shard, fold):
+def _lossy_worker(path, data_end, shard, fold, trace_spans=False):
     """A corrupted `_shard_worker`: shard 0 "loses" its live handoff.
 
     Module-level so the process pool can pickle it by reference.
     """
-    fold, opens, closes = _shard_worker(path, data_end, shard, fold)
-    return fold, ({} if shard.index == 0 else opens), closes
+    fold, opens, closes, spans = _shard_worker(
+        path, data_end, shard, fold, trace_spans
+    )
+    return fold, ({} if shard.index == 0 else opens), closes, spans
 
 
 @pytest.fixture(scope="module")
@@ -190,12 +192,12 @@ class TestShardWorker:
                           ShortBytesFold(THRESHOLD))
             for shard in shards
         ]
-        for index, (_, opens, closes) in enumerate(results):
+        for index, (_, opens, closes, _) in enumerate(results):
             if index > 0:
                 assert closes, f"shard {index} saw no cross-shard frees"
         assert results[0][1], "shard 0 handed no live objects forward"
         opened = set()
-        for _, opens, closes in results:
+        for _, opens, closes, _ in results:
             assert opened.issuperset(closes), "free before any alloc"
             opened |= set(opens)
 
@@ -265,6 +267,81 @@ class TestFoldParity:
         assert simulate_arena(sharded_source, predictor) == simulate_arena(
             serial_source, predictor
         )
+
+
+class TestWorkerSpans:
+    """Satellite: pool workers ship their spans back to the parent tracer.
+
+    Before this, a ``--spans-out`` trace of a ``--jobs`` run showed a
+    gap where the workers ran; now the worker-side ``shard.fold`` /
+    ``shard.decode`` spans are absorbed onto worker lanes (tid >= 2).
+    """
+
+    def test_fold_workers_report_spans(self, churn_v3):
+        from repro.obs.spans import TRACER
+
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            source = ShardedTraceSource(churn_v3, jobs=2)
+            fold_object_lifetimes(
+                source, lambda: ShortBytesFold(THRESHOLD), jobs=2
+            )
+            folds = TRACER.find("shard.fold")
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+        assert len(folds) >= 2
+        assert all(span.tid >= 2 for span in folds)
+        assert {span.args["shard"] for span in folds} == {
+            i for i in range(len(folds))
+        }
+
+    def test_decode_workers_report_spans(self, churn_v3, serial_source):
+        from repro.obs.spans import TRACER
+
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            source = ShardedTraceSource(churn_v3, jobs=2)
+            assert list(source.events()) == list(serial_source.events())
+            decodes = TRACER.find("shard.decode")
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+        assert len(decodes) == len(serial_source.chunk_index)
+        assert all(span.tid >= 2 for span in decodes)
+
+    def test_disabled_tracer_ships_no_spans(self, churn_v3):
+        from repro.obs.spans import TRACER
+
+        assert not TRACER.enabled
+        source = ShardedTraceSource(churn_v3, jobs=2)
+        fold_object_lifetimes(
+            source, lambda: ShortBytesFold(THRESHOLD), jobs=2
+        )
+        assert TRACER.spans == []
+
+    def test_chrome_trace_carries_worker_lanes(self, churn_v3):
+        from repro.obs.spans import TRACER, chrome_trace
+
+        TRACER.reset()
+        TRACER.enable()
+        try:
+            source = ShardedTraceSource(churn_v3, jobs=2)
+            fold_object_lifetimes(
+                source, lambda: ShortBytesFold(THRESHOLD), jobs=2
+            )
+            document = chrome_trace(TRACER)
+        finally:
+            TRACER.disable()
+            TRACER.reset()
+        tids = {
+            event["tid"]
+            for event in document["traceEvents"]
+            if event.get("ph") == "X" and event["name"] == "shard.fold"
+        }
+        assert tids and all(tid >= 2 for tid in tids)
 
 
 class TestChunkReader:

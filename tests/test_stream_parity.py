@@ -133,3 +133,36 @@ def test_sharded_predictor_databases_are_byte_identical(
         save_predictor(materialized.predictor(program), mat_path)
         save_predictor(sharded_store.predictor(program), shard_path)
         assert shard_path.read_bytes() == mat_path.read_bytes(), program
+
+
+def test_attribution_is_byte_identical_across_replay_modes(
+    stores, sharded_store
+):
+    """The five-workload ``profile-sites`` parity gate (ISSUE 7).
+
+    The attribution document — serialized exactly as the JSON export
+    writes it — must be byte-identical whether the fold consumed the
+    materialized trace, the serial v3 stream, or the jobs=2 sharded
+    replay.  The predictor comes from the materialized store on all
+    three paths so the only variable is the event pipeline.
+    """
+    import json
+
+    from repro.obs.attrib import attribute_sites
+
+    materialized, streaming = stores
+    for program in PROGRAM_ORDER:
+        predictor = materialized.predictor(program)
+        docs = [
+            json.dumps(
+                attribute_sites(
+                    store.source(program, "test"),
+                    profile="arena",
+                    predictor=predictor,
+                ).to_dict(),
+                indent=2,
+                sort_keys=True,
+            )
+            for store in (materialized, streaming, sharded_store)
+        ]
+        assert docs[0] == docs[1] == docs[2], program

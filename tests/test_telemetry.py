@@ -218,8 +218,17 @@ class TestExportDeterminism:
         first = self._export_once(trace, tmp_path / "a")
         second = self._export_once(trace, tmp_path / "b")
         assert set(first) == {"samples", "csv", "summary"}
-        for kind in first:
+        for kind in ("samples", "csv"):
             assert first[kind].read_bytes() == second[kind].read_bytes()
+        # The summary carries environment gauges (peak RSS moves
+        # monotonically between two in-process exports), so compare it
+        # parsed with the gauges stripped.
+        docs = []
+        for paths in (first, second):
+            doc = json.loads(paths["summary"].read_text())
+            assert doc.pop("gauges", None) is not None
+            docs.append(doc)
+        assert docs[0] == docs[1]
 
     def test_jsonl_rows_parse_and_match_samples(self, tmp_path, churn_trace):
         paths = self._export_once(churn_trace, tmp_path)
