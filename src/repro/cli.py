@@ -15,6 +15,8 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc stats --program gawk --json --diff old-summary.json
     repro-alloc timeline --program gawk --allocator arena
     repro-alloc profile-sites --program gawk --stream --jobs 2
+    repro-alloc windows --program gawk --windows 16 --by bytes --json
+    repro-alloc report --program gawk --html gawk-report.html
     repro-alloc diff-sessions old.attrib.json new.attrib.json
     repro-alloc bench run --scale 0.05
     repro-alloc bench compare
@@ -36,9 +38,13 @@ heap time series (see :mod:`repro.obs`); ``profile-sites`` attributes
 simulated instruction cost, heap occupancy, fragmentation, and
 misprediction penalties per allocation site and exports JSON/CSV plus a
 flamegraph-ready collapsed-stack view (see :mod:`repro.obs.attrib`);
-``diff-sessions`` compares two recorded sessions (attribution exports,
-telemetry summaries, or bench sessions) and exits nonzero on a per-site
-regression — ``stats --diff OTHER`` does the same inline (see
+``windows`` partitions a run into N windows along the byte-time or
+event axis and reports per-window heap series plus per-site lifetime
+drift (see :mod:`repro.obs.windows` and :mod:`repro.obs.drift`);
+``report`` renders the self-contained HTML run report (see
+:mod:`repro.obs.html`); ``diff-sessions`` compares two recorded
+sessions (attribution exports, telemetry summaries, drift reports, or
+bench sessions) and exits nonzero on a per-site regression — ``stats --diff OTHER`` does the same inline (see
 :mod:`repro.obs.diff`); ``bench`` runs the benchmark
 suite into the ``BENCH_<seq>.json`` trajectory and gates regressions
 (see :mod:`repro.bench`); ``lint`` runs the alloclint contract rules
@@ -60,6 +66,7 @@ import json
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
 from functools import partial
 from pathlib import Path
 from typing import List, Optional
@@ -114,7 +121,23 @@ from repro.obs.diff import (
     load_session_doc,
     render_diff_report,
 )
+from repro.obs.drift import (
+    DEFAULT_FLIP_FRACTION,
+    DEFAULT_MIN_OBJECTS,
+    DEFAULT_MIN_WINDOWS,
+    drift_report,
+    render_drift,
+    write_drift_json,
+)
 from repro.obs.export import DEFAULT_TELEMETRY_DIR
+from repro.obs.html import write_report
+from repro.obs.windows import (
+    DEFAULT_WINDOWS,
+    WINDOW_AXES,
+    export_windows,
+    render_windows,
+    window_profile,
+)
 from repro.obs.spans import TRACER, write_chrome_trace
 from repro.runtime.heap import HeapError
 from repro.runtime.shard import ShardedTraceSource
@@ -387,6 +410,91 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "output stays byte-identical)")
     profile_sites.set_defaults(handler=_cmd_profile_sites)
 
+    windows = sub.add_parser(
+        "windows",
+        help="windowed heap time series and per-site lifetime drift",
+    )
+    windows.add_argument("--program", required=True, choices=PROGRAM_ORDER,
+                         help="workload to window")
+    windows.add_argument("--dataset", default="test",
+                         help="dataset to window (default test)")
+    windows.add_argument("--windows", type=int, default=DEFAULT_WINDOWS,
+                         metavar="N",
+                         help="number of windows to partition the run "
+                              f"into (default {DEFAULT_WINDOWS})")
+    windows.add_argument("--by", default="bytes",
+                         choices=list(WINDOW_AXES),
+                         help="window axis: equal byte-time spans or "
+                              "equal allocation-event counts "
+                              "(default bytes)")
+    windows.add_argument("--sites-db", default=None,
+                         help="site database scoring the per-window "
+                              "short fractions (default: train on the "
+                              "program's train dataset)")
+    windows.add_argument("--threshold", type=int, default=None,
+                         help="short-lived cutoff in bytes (default: "
+                              "the predictor's, else 32768)")
+    windows.add_argument("--top", type=int, default=10,
+                         help="drifting sites to list in the table "
+                              "(default 10)")
+    windows.add_argument("--json", action="store_true",
+                         help="print the windows + drift documents "
+                              "instead of the tables")
+    windows.add_argument("--out-dir", metavar="DIR",
+                         default=str(DEFAULT_TELEMETRY_DIR),
+                         help="where to write the windows JSON/CSV and "
+                              "drift JSON artifacts "
+                              f"(default {DEFAULT_TELEMETRY_DIR})")
+    windows.add_argument("--min-windows", type=int,
+                         default=DEFAULT_MIN_WINDOWS, metavar="K",
+                         help="windows that must contradict before a "
+                              "site counts as drifting "
+                              f"(default {DEFAULT_MIN_WINDOWS})")
+    windows.add_argument("--min-objects", type=int,
+                         default=DEFAULT_MIN_OBJECTS, metavar="N",
+                         help="objects a window needs for its short "
+                              "fraction to count "
+                              f"(default {DEFAULT_MIN_OBJECTS})")
+    windows.add_argument("--flip-fraction", type=float,
+                         default=DEFAULT_FLIP_FRACTION,
+                         help="short-fraction boundary a window must "
+                              "cross to contradict "
+                              f"(default {DEFAULT_FLIP_FRACTION})")
+    _add_store_options(windows)
+    _add_stream_option(windows)
+    windows.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="shard the window fold over N worker "
+                              "processes (needs --stream; output stays "
+                              "byte-identical)")
+    windows.set_defaults(handler=_cmd_windows)
+
+    report = sub.add_parser(
+        "report",
+        help="self-contained HTML run report (windows, drift, "
+             "attribution, telemetry, bench)",
+    )
+    _add_telemetry_options(report)
+    report.add_argument("--windows", type=int, default=DEFAULT_WINDOWS,
+                        metavar="N",
+                        help="windows in the report's time series "
+                             f"(default {DEFAULT_WINDOWS})")
+    report.add_argument("--by", default="bytes", choices=list(WINDOW_AXES),
+                        help="window axis (default bytes)")
+    report.add_argument("--threshold", type=int, default=None,
+                        help="short-lived cutoff in bytes (default: "
+                             "the predictor's, else 32768)")
+    report.add_argument("--html", required=True, metavar="PATH",
+                        help="where to write the single-file HTML report")
+    report.add_argument("--timestamp", default=None, metavar="STAMP",
+                        help="explicit generated-at stamp embedded in "
+                             "the report (default: current UTC time; "
+                             "pass a fixed stamp for byte-identical "
+                             "renders)")
+    report.add_argument("--bench-dir", default=None, metavar="DIR",
+                        help="bench trajectory to chart (default: the "
+                             "standard BENCH_<seq>.json directory)")
+    report.set_defaults(handler=_cmd_report)
+
     diff_sessions = sub.add_parser(
         "diff-sessions",
         help="regression verdicts between two recorded sessions",
@@ -414,6 +522,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=str(DEFAULT_TELEMETRY_DIR),
                           help="where to write the JSONL/CSV/JSON series "
                                f"(default {DEFAULT_TELEMETRY_DIR})")
+    timeline.add_argument("--json", action="store_true",
+                          help="print the sample rows as one JSON "
+                               "document (deterministic key order); "
+                               "artifact notices move to stderr")
+    timeline.add_argument("--windows", type=int, default=None, metavar="N",
+                          help="append the windowed time series over N "
+                               "windows (see the windows subcommand)")
+    timeline.add_argument("--by", default="bytes",
+                          choices=list(WINDOW_AXES),
+                          help="window axis for --windows "
+                               "(default bytes)")
     timeline.set_defaults(handler=_cmd_timeline)
 
     bench = sub.add_parser(
@@ -871,6 +990,108 @@ def _cmd_profile_sites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _window_basename(profile) -> str:
+    """The artifact basename the windows/drift exports share."""
+    raw = (
+        f"{profile.program}-{profile.dataset}"
+        f"-w{profile.spec.count}{profile.spec.axis[0]}"
+    )
+    return "".join(
+        ch if ch.isalnum() or ch in "-._" else "_" for ch in raw
+    )
+
+
+def _cmd_windows(args: argparse.Namespace) -> int:
+    if args.jobs > 1 and not args.stream:
+        raise ValueError(
+            "windows: --jobs shards the streamed fold; add --stream"
+        )
+    store = _make_store(args)
+    source = store.source(args.program, args.dataset)
+    predictor = (
+        load_predictor(args.sites_db) if args.sites_db
+        else store.predictor(args.program)
+    )
+    profile = window_profile(
+        source,
+        windows=args.windows,
+        by=args.by,
+        predictor=predictor,
+        threshold=args.threshold,
+    )
+    drift = drift_report(
+        profile,
+        min_windows=args.min_windows,
+        min_objects=args.min_objects,
+        flip_fraction=args.flip_fraction,
+    )
+    if args.json:
+        print(json.dumps({"windows": profile.to_dict(), "drift": drift},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_windows(profile))
+        print()
+        print(render_drift(drift, top=args.top))
+    # Artifact notices go to stderr so stdout stays byte-identical
+    # across the materialized / --stream / --jobs replay modes (gated
+    # in CI and tests/test_stream_parity.py).
+    out_dir = Path(args.out_dir)
+    basename = _window_basename(profile)
+    paths = export_windows(profile, out_dir, basename=basename)
+    paths["drift"] = write_drift_json(
+        drift, out_dir / f"{basename}.drift.json"
+    )
+    for kind in sorted(paths):
+        print(f"windows {kind}: {paths[kind]}", file=sys.stderr)
+    if args.stream:
+        _report_peak_rss()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = _make_store(args)
+    predictor = (
+        load_predictor(args.sites) if args.sites
+        else store.predictor(args.program)
+    )
+    profile = window_profile(
+        store.source(args.program, args.dataset),
+        windows=args.windows,
+        by=args.by,
+        predictor=predictor,
+        threshold=args.threshold,
+    )
+    drift = drift_report(profile)
+    attrib = attribute_sites(
+        store.source(args.program, args.dataset),
+        profile="arena",
+        predictor=predictor,
+        threshold=args.threshold,
+    )
+    telemetry = _replay_with_telemetry(args)
+    history = [
+        session.to_dict() for session in BenchStore(args.bench_dir).history()
+    ]
+    # The one wall-clock read in the report path lives here in the CLI,
+    # outside the lint's deterministic scope — pass --timestamp for
+    # byte-identical renders.
+    stamp = (
+        args.timestamp if args.timestamp is not None
+        else datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    path = write_report(
+        Path(args.html),
+        profile.to_dict(),
+        drift_doc=drift,
+        attribution_doc=attrib.summary_dict(top=10),
+        telemetry_doc=telemetry_summary(telemetry),
+        bench_history=history or None,
+        generated_at=stamp,
+    )
+    print(f"report -> {path}")
+    return 0
+
+
 def _cmd_diff_sessions(args: argparse.Namespace) -> int:
     result = diff_paths(args.old, args.new,
                         rel_threshold=args.rel_threshold)
@@ -883,10 +1104,44 @@ def _cmd_diff_sessions(args: argparse.Namespace) -> int:
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
     telemetry = _replay_with_telemetry(args)
-    print(render_timeline(telemetry))
+    win_profile = None
+    if args.windows:
+        store = _make_store(args)
+        predictor = (
+            load_predictor(args.sites) if args.sites
+            else store.predictor(args.program)
+        )
+        win_profile = window_profile(
+            store.source(args.program, args.dataset),
+            windows=args.windows,
+            by=args.by,
+            predictor=predictor,
+        )
+    if args.json:
+        doc = {
+            "kind": "timeline",
+            "program": telemetry.program,
+            "dataset": telemetry.dataset,
+            "allocator": telemetry.allocator_name,
+            "interval": telemetry.interval,
+            "sample_count": len(telemetry.samples),
+            "totals": telemetry.totals(),
+            "samples": telemetry.samples,
+        }
+        if win_profile is not None:
+            doc["windows"] = win_profile.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_timeline(telemetry))
+        if win_profile is not None:
+            print()
+            print(render_windows(win_profile))
     paths = export_timeline(telemetry, Path(args.out_dir))
+    # With --json stdout is the document; the artifact notices move to
+    # stderr so the output stays machine-readable.
+    notice_stream = sys.stderr if args.json else sys.stdout
     for kind in sorted(paths):
-        print(f"{kind:<8} -> {paths[kind]}")
+        print(f"{kind:<8} -> {paths[kind]}", file=notice_stream)
     return 0
 
 

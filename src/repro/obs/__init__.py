@@ -19,8 +19,12 @@ halves that share one counter backend:
 :mod:`repro.obs.export` writes JSONL/JSON/CSV artifacts,
 :mod:`repro.obs.attrib` attributes simulated cost / occupancy /
 fragmentation / misprediction penalties per allocation site (an
-order-independent fold, so it shards), :mod:`repro.obs.diff` diffs two
-recorded sessions into per-site regression verdicts, and
+order-independent fold, so it shards), :mod:`repro.obs.windows`
+partitions a run into N windows of per-window heap series (another
+shardable fold), :mod:`repro.obs.drift` scores per-site temporal drift
+against the global classification, :mod:`repro.obs.diff` diffs two
+recorded sessions into per-site regression verdicts,
+:mod:`repro.obs.html` renders the self-contained HTML run report, and
 :mod:`repro.obs.report` renders the ``stats`` / ``timeline`` CLI views
 plus the folded-stack span view.
 """
@@ -63,6 +67,16 @@ from repro.obs.report import (
     render_timeline,
     sparkline,
 )
+from repro.obs.windows import (
+    WindowFold,
+    WindowProfile,
+    WindowSpec,
+    export_windows,
+    render_windows,
+    window_profile,
+)
+from repro.obs.drift import drift_report, render_drift, write_drift_json
+from repro.obs.html import render_report, write_report
 
 __all__ = [
     "METRICS",
@@ -97,4 +111,15 @@ __all__ = [
     "render_stats",
     "render_timeline",
     "sparkline",
+    "WindowFold",
+    "WindowProfile",
+    "WindowSpec",
+    "export_windows",
+    "render_windows",
+    "window_profile",
+    "drift_report",
+    "render_drift",
+    "write_drift_json",
+    "render_report",
+    "write_report",
 ]

@@ -452,15 +452,25 @@ def write_attrib_json(
 def write_attrib_csv(
     profile: AttributionProfile, path: Union[str, Path]
 ) -> Path:
-    """Write one CSV row per site, sorted by chain, fixed column order."""
+    """Write one CSV row per site, sorted by chain, fixed column order.
+
+    The chain cell is the frames ``;``-joined; frames containing the
+    field separator, quotes, or newlines are quoted by the :mod:`csv`
+    module (RFC 4180), so adversarial chain names round-trip through any
+    conforming reader instead of shearing the row.
+    """
+    import csv
+
     path = Path(path)
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
-        handle.write(",".join(("chain",) + _METRIC_FIELDS) + "\n")
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(("chain",) + _METRIC_FIELDS)
         for chain in sorted(profile.sites):
             metrics = profile.sites[chain].to_dict()
-            cells = [";".join(chain)]
-            cells.extend(str(metrics[name]) for name in _METRIC_FIELDS)
-            handle.write(",".join(cells) + "\n")
+            writer.writerow(
+                [";".join(chain)]
+                + [str(metrics[name]) for name in _METRIC_FIELDS]
+            )
     return path
 
 

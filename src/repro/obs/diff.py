@@ -11,7 +11,10 @@ emits.  It diffs two session files of the same kind:
 * **telemetry** summaries (``stats --json`` / ``*.summary.json``) —
   whole-run totals plus the top misprediction sites;
 * **bench** sessions (``BENCH_<seq>.json``) — the deterministic
-  per-benchmark metrics, wall time informational.
+  per-benchmark metrics, wall time informational;
+* **drift** reports (``windows`` / ``*.drift.json``) — per-site
+  temporal-drift scores, so a site that *starts* drifting between two
+  runs gates the diff.
 
 The verdict contract mirrors :mod:`repro.bench.compare`: each metric has
 a *good direction* ("lower", "higher", "equal", or "info"), movements
@@ -133,15 +136,17 @@ def detect_kind(doc: Dict[str, Any]) -> str:
     """Which session family a loaded document belongs to."""
     if doc.get("kind") == "attribution":
         return "attribution"
+    if doc.get("kind") == "drift":
+        return "drift"
     if "records" in doc and "schema_version" in doc:
         return "bench"
     if "totals" in doc and "top_misprediction_sites" in doc:
         return "telemetry"
     raise ValueError(
         "unrecognized session document: expected an attribution export "
-        "(kind=attribution), a telemetry summary (totals + "
-        "top_misprediction_sites), or a bench session (records + "
-        "schema_version)"
+        "(kind=attribution), a drift report (kind=drift), a telemetry "
+        "summary (totals + top_misprediction_sites), or a bench session "
+        "(records + schema_version)"
     )
 
 
@@ -187,6 +192,15 @@ _BENCH_DIRECTIONS = {
     "mispredictions_total": "lower",
     # wall_seconds/wall_seconds_mean/peak_rss_kb/final_live_bytes are
     # noisy or ungated — informational, same stance as bench compare.
+}
+
+_DRIFT_DIRECTIONS = {
+    "drift_windows": "lower",
+    "drift_objects": "lower",
+    "drift_score": "lower",
+    "drifting_sites": "lower",
+    # objects/short_fraction/sites_scored describe the workload and the
+    # scoring coverage, not predictor health — informational.
 }
 
 Entries = Dict[str, Dict[str, float]]
@@ -253,10 +267,31 @@ def _normalize_bench(
     return identity, entries, _BENCH_DIRECTIONS
 
 
+def _normalize_drift(
+    doc: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Entries, Dict[str, str]]:
+    identity = {
+        key: doc.get(key)
+        for key in ("program", "dataset", "axis", "windows", "threshold",
+                    "classifier", "min_windows", "min_objects",
+                    "flip_fraction")
+    }
+    entries: Entries = {"totals": _numeric_items(doc.get("totals", {}))}
+    for site in doc.get("sites", []):
+        key = "site:" + ";".join(site.get("chain", []))
+        metrics = {
+            k: v for k, v in site.items()
+            if k not in ("chain", "windows", "classification")
+        }
+        entries[key] = _numeric_items(metrics)
+    return identity, entries, _DRIFT_DIRECTIONS
+
+
 _NORMALIZERS = {
     "attribution": _normalize_attribution,
     "telemetry": _normalize_telemetry,
     "bench": _normalize_bench,
+    "drift": _normalize_drift,
 }
 
 

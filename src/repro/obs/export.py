@@ -9,6 +9,7 @@ asserts.
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -39,7 +40,13 @@ def write_jsonl(rows: Iterable[Dict[str, Any]],
 
 
 def write_csv(rows: List[Dict[str, Any]], path: Union[str, Path]) -> Path:
-    """Write samples as CSV over the union of keys (missing cells empty)."""
+    """Write samples as CSV over the union of keys (missing cells empty).
+
+    Cells go through the :mod:`csv` module, so values containing the
+    field separator, quotes, or newlines are quoted per RFC 4180 and
+    round-trip through any conforming reader (``newline=""`` +
+    ``lineterminator="\\n"`` keep the bytes platform-independent).
+    """
     path = Path(path)
     columns: List[str] = []
     seen = set()
@@ -49,12 +56,11 @@ def write_csv(rows: List[Dict[str, Any]], path: Union[str, Path]) -> Path:
                 seen.add(key)
                 columns.append(key)
     columns.sort()
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
-        handle.write(",".join(columns) + "\n")
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow(columns)
         for row in rows:
-            handle.write(
-                ",".join(_csv_cell(row.get(col)) for col in columns) + "\n"
-            )
+            writer.writerow([_csv_cell(row.get(col)) for col in columns])
     return path
 
 

@@ -16,10 +16,14 @@ touches from ``summary.unfreed_touches``) in object-id order — the same
 tail the serial iterator emits.
 
 Determinism is structural: every object is folded exactly once with the
-same ``(chain_id, size, lifetime, touches)`` tuple the serial pass
-computes, and :class:`~repro.runtime.shard.folds.LifetimeFold` add/merge
-are order-independent by contract — so the merged fold state equals the
-serial fold state, not just approximately but field for field.
+same ``(obj_id, chain_id, size, birth, death, touches)`` record the
+serial :func:`~repro.runtime.stream.protocol.iter_object_records` pass
+computes, and :class:`~repro.runtime.shard.folds.LifetimeFold`
+add_object/merge are order-independent by contract — so the merged fold
+state equals the serial fold state, not just approximately but field for
+field.  Lifetime-only folds see ``death - birth`` through the default
+``add_object`` -> ``add`` collapse; position-aware folds (windowed time
+series) read the absolute byte-times directly.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ from repro.runtime.stream.protocol import (
     EV_ALLOC,
     EV_FREE,
     EventSource,
-    iter_object_lifetimes,
+    iter_object_records,
 )
 from repro.runtime.stream.v3 import TraceFileSource, read_chunk_events
 from repro.runtime.shard.folds import LifetimeFold
@@ -66,7 +70,7 @@ def _shard_worker(
         mark = len(TRACER.spans)
     live: _Opens = {}
     closes: _Closes = {}
-    add = fold.add
+    add_object = fold.add_object
     with TRACER.span("shard.fold", cat="shard",
                      shard=shard.index, chunks=len(shard.chunks)):
         for offset, count in shard.chunks:
@@ -80,7 +84,9 @@ def _shard_worker(
                         closes[ev[1]] = (ev[2], ev[3])
                     else:
                         chain_id, size, birth = entry
-                        add(chain_id, size, ev[2] - birth, ev[3])
+                        add_object(
+                            ev[1], chain_id, size, birth, ev[2], ev[3]
+                        )
     span_state = TRACER.state(mark) if trace_spans else None
     return fold, live, closes, span_state
 
@@ -110,9 +116,9 @@ def fold_object_lifetimes(
         or chunk_index is None
         or len(chunk_index) <= 1
     ):
-        add = fold.add
-        for chain_id, size, lifetime, touches in iter_object_lifetimes(source):
-            add(chain_id, size, lifetime, touches)
+        add_object = fold.add_object
+        for record in iter_object_records(source):
+            add_object(*record)
         return fold
 
     summary = source.summary
@@ -139,14 +145,15 @@ def fold_object_lifetimes(
                         f"allocation in any earlier shard"
                     )
                 chain_id, size, birth = entry
-                fold.add(chain_id, size, death - birth, touches)
+                fold.add_object(obj_id, chain_id, size, birth, death, touches)
             frontier.update(opens)
             fold.merge(shard_fold)
     end_time = summary.end_time
     unfreed_touches = dict(summary.unfreed_touches)
     for obj_id in sorted(frontier):
         chain_id, size, birth = frontier[obj_id]
-        fold.add(
-            chain_id, size, end_time - birth, unfreed_touches.get(obj_id, 0)
+        fold.add_object(
+            obj_id, chain_id, size, birth, end_time,
+            unfreed_touches.get(obj_id, 0),
         )
     return fold

@@ -14,6 +14,14 @@ Instances cross the process boundary twice (empty to the worker, full
 back to the parent), so they must be picklable; everything they carry —
 chain tables, predictor databases, plain dicts and sets — is.
 
+The engine delivers each object through :meth:`LifetimeFold.add_object`
+with its full ``(obj_id, chain_id, size, birth, death, touches)`` record;
+the default implementation collapses that to the classic ``add`` tuple,
+so lifetime-only folds are unchanged while position-aware folds (the
+windowed time series of :mod:`repro.obs.windows`) override ``add_object``
+and key on the byte-time positions directly — all three values are
+intrinsic to the object, so order-independence is preserved.
+
 The concrete folds mirror the pipeline's per-object accumulations:
 :class:`EvaluateFold` is :func:`repro.core.predictor.evaluate`'s body
 (integer sums plus key-set unions); :class:`SiteSelectFold` keeps only
@@ -55,6 +63,26 @@ class LifetimeFold:
     ) -> None:
         """Fold one object (order-independent by contract)."""
         raise NotImplementedError
+
+    def add_object(
+        self,
+        obj_id: int,
+        chain_id: int,
+        size: int,
+        birth: int,
+        death: int,
+        touches: int,
+    ) -> None:
+        """Fold one object with its absolute position in the run.
+
+        The engine always calls this richer form; the default collapses
+        it to :meth:`add`, so folds that only need the lifetime stay
+        one-method.  Position-aware folds (windowed time series) override
+        it instead — ``obj_id`` is the dense allocation index, ``birth``
+        and ``death`` are byte-times, and all three are intrinsic to the
+        object, so overriding keeps ``add_object`` order-independent.
+        """
+        self.add(chain_id, size, death - birth, touches)
 
     def merge(self, other: "LifetimeFold") -> None:
         """Fold another shard's state into this one (commutative)."""

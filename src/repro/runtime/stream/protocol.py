@@ -62,6 +62,7 @@ __all__ = [
     "as_event_source",
     "build_trace",
     "iter_object_lifetimes",
+    "iter_object_records",
     "source_identity",
     "stream_live_stats",
 ]
@@ -312,6 +313,39 @@ def iter_object_lifetimes(
     for obj_id in sorted(live):
         chain_id, size, birth = live[obj_id]
         yield (chain_id, size, end_time - birth, unfreed_touches.get(obj_id, 0))
+
+
+def iter_object_records(
+    source: EventSource,
+) -> Iterator[Tuple[int, int, int, int, int, int]]:
+    """``(obj_id, chain_id, size, birth, death, touches)`` per object.
+
+    The positional sibling of :func:`iter_object_lifetimes`: same single
+    stream pass, same live-object working set, same never-freed tail
+    convention (death at ``summary.end_time``, object-id order) — but the
+    absolute birth/death byte-times and the dense object id survive
+    instead of being collapsed into a lifetime.  Folds that partition the
+    run into windows key on exactly these positions, which is why the
+    shard engine feeds its folds through the same tuple shape (see
+    :meth:`~repro.runtime.shard.folds.LifetimeFold.add_object`).
+    """
+    live = {}
+    for ev in source.events():
+        tag = ev[0]
+        if tag == EV_ALLOC:
+            live[ev[1]] = (ev[2], ev[3], ev[4])
+        elif tag == EV_FREE:
+            chain_id, size, birth = live.pop(ev[1])
+            yield (ev[1], chain_id, size, birth, ev[2], ev[3])
+    summary = source.summary
+    end_time = summary.end_time
+    unfreed_touches = dict(summary.unfreed_touches)
+    for obj_id in sorted(live):
+        chain_id, size, birth = live[obj_id]
+        yield (
+            obj_id, chain_id, size, birth, end_time,
+            unfreed_touches.get(obj_id, 0),
+        )
 
 
 def stream_live_stats(source: EventSource) -> LiveStats:

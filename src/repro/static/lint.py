@@ -92,6 +92,9 @@ _DETERMINISTIC_SCOPES = (
     "repro/core/",
     "repro/obs/attrib",
     "repro/obs/diff",
+    "repro/obs/drift",
+    "repro/obs/html",
+    "repro/obs/windows",
     "repro/runtime/shard",
     "repro/runtime/stream",
     "repro/static/",

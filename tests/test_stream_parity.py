@@ -135,6 +135,70 @@ def test_sharded_predictor_databases_are_byte_identical(
         assert shard_path.read_bytes() == mat_path.read_bytes(), program
 
 
+def test_windows_and_drift_are_byte_identical_across_replay_modes(
+    stores, sharded_store
+):
+    """The five-workload ``windows`` parity gate (ISSUE 8 acceptance).
+
+    The windowed time-series document and the drift report derived from
+    it — serialized exactly as their JSON exports write them — must be
+    byte-identical whether the fold consumed the materialized trace, the
+    serial v3 stream, or the jobs=2 sharded replay.  Window boundaries
+    come from the trace header (bytes axis) so the partition is
+    identical by construction; what this gate proves is that the
+    per-window tallies and per-site scores survive out-of-order,
+    merge-reduced delivery.
+    """
+    import json
+
+    from repro.obs.drift import drift_report
+    from repro.obs.windows import window_profile
+
+    materialized, streaming = stores
+    for program in PROGRAM_ORDER:
+        predictor = materialized.predictor(program)
+        docs = []
+        for store in (materialized, streaming, sharded_store):
+            profile = window_profile(
+                store.source(program, "test"),
+                windows=8,
+                predictor=predictor,
+            )
+            docs.append(json.dumps(
+                {
+                    "windows": profile.to_dict(),
+                    "drift": drift_report(profile),
+                },
+                indent=2,
+                sort_keys=True,
+            ))
+        assert docs[0] == docs[1] == docs[2], program
+
+
+def test_events_axis_windows_are_byte_identical(stores, sharded_store):
+    """The events axis needs a prepass over the stream to place window
+    boundaries, so it exercises re-iterability of every source kind; the
+    resulting document must still be mode-independent.  One workload
+    suffices — the bytes-axis gate above covers all five.
+    """
+    import json
+
+    from repro.obs.windows import window_profile
+
+    materialized, streaming = stores
+    docs = [
+        json.dumps(
+            window_profile(
+                store.source("gawk", "test"), windows=8, by="events"
+            ).to_dict(),
+            indent=2,
+            sort_keys=True,
+        )
+        for store in (materialized, streaming, sharded_store)
+    ]
+    assert docs[0] == docs[1] == docs[2]
+
+
 def test_attribution_is_byte_identical_across_replay_modes(
     stores, sharded_store
 ):
