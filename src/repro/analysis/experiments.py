@@ -131,12 +131,19 @@ class TraceStore:
         metrics: Optional[Metrics] = None,
         streaming: bool = False,
         jobs: int = 1,
+        predictor_mode: str = "trained",
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if predictor_mode not in ("trained", "static"):
+            raise ValueError(
+                f"predictor_mode must be 'trained' or 'static', "
+                f"got {predictor_mode!r}"
+            )
         self.scale = scale
         self.streaming = streaming
         self.jobs = jobs
+        self.predictor_mode = predictor_mode
         self._metrics = metrics if metrics is not None else METRICS
         if cache is not None:
             self._cache: Optional[TraceCache] = cache
@@ -147,6 +154,7 @@ class TraceStore:
         self._traces: Dict[Tuple[str, str], Trace] = {}
         self._site_predictors: Dict[tuple, SitePredictor] = {}
         self._cce_predictors: Dict[tuple, CCEPredictor] = {}
+        self._static_predictors: Dict[tuple, "StaticEscapePredictor"] = {}
 
     @property
     def programs(self) -> list:
@@ -236,7 +244,15 @@ class TraceStore:
         chain_length: Optional[int] = FULL_CHAIN,
         size_rounding: int = TRUE_PREDICTION_ROUNDING,
     ) -> SitePredictor:
-        """A (cached) site predictor trained on one execution."""
+        """A (cached) site predictor trained on one execution.
+
+        With ``predictor_mode="static"`` the profiling run is skipped
+        entirely and the escape analysis's predictor is returned instead
+        (``train_dataset``, ``chain_length`` and ``size_rounding`` do not
+        apply — the static DB fixes its own key space).
+        """
+        if self.predictor_mode == "static":
+            return self.static_predictor(program, threshold=threshold)
         key = (program, train_dataset, threshold, chain_length, size_rounding)
         if key not in self._site_predictors:
             source = self.source(program, train_dataset)
@@ -263,6 +279,25 @@ class TraceStore:
                 self.source(program, train_dataset), threshold=threshold
             )
         return self._cce_predictors[key]
+
+    def static_predictor(
+        self, program: str, threshold: int = DEFAULT_THRESHOLD
+    ) -> "StaticEscapePredictor":
+        """The (cached) profile-free escape-analysis predictor.
+
+        Requires no trace at all — the workload sources are analyzed
+        directly, so this is available before any execution is cached.
+        """
+        key = (program, threshold)
+        if key not in self._static_predictors:
+            from repro.static.escape import build_escape_db
+
+            with TRACER.span("predictor.static", cat="core",
+                             program=program):
+                self._static_predictors[key] = build_escape_db(
+                    program, threshold=threshold
+                ).to_predictor()
+        return self._static_predictors[key]
 
     def self_predictor(self, program: str, **kwargs) -> SitePredictor:
         """A predictor trained on the evaluation execution itself."""

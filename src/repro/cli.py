@@ -23,6 +23,9 @@ Mirrors the paper's workflow as subcommands::
     repro-alloc bench history --json
     repro-alloc lint --format sarif -o alloclint.sarif
     repro-alloc audit-sites --scale 0.05
+    repro-alloc predict-static gawk -o gawk-static.json
+    repro-alloc simulate gawk-test.rtr3 --allocator arena --predictor static
+    repro-alloc escape-eval --scale 0.05 --json
 
 ``trace`` runs a workload and stores its allocation trace; ``convert``
 rewrites a trace between the v2 (monolithic JSON) and v3 (chunked,
@@ -51,7 +54,12 @@ suite into the ``BENCH_<seq>.json`` trajectory and gates regressions
 and ``audit-sites`` diffs static allocation sites against the trace
 store or a saved site database (see :mod:`repro.static` and DESIGN.md
 §9) — both use exit codes 0/1/2 for clean/findings/error so CI can
-gate on them.
+gate on them; ``predict-static`` runs the profile-free escape analysis
+and emits a static predictor database, ``--predictor static`` swaps it
+for the trained database on ``simulate``/``table``/``profile-sites``/
+``bench run``, and ``escape-eval`` scores static vs trained vs oracle
+over every workload (see :mod:`repro.static.escape` and DESIGN.md
+§14).
 
 The global ``--spans-out`` / ``--spans-folded`` flags record a span
 trace of any subcommand (Chrome trace-event JSON for Perfetto, or a
@@ -149,6 +157,7 @@ from repro.runtime.tracefile import (
     open_trace_stream,
     save_trace,
 )
+from repro.analysis.escape_eval import escape_eval, render_escape_eval
 from repro.static import (
     AuditError,
     StaticAnalysisError,
@@ -157,6 +166,7 @@ from repro.static import (
     audit_trace,
     build_static_db,
 )
+from repro.static.escape import build_escape_db
 from repro.static.lint import (
     DEFAULT_SEVERITIES,
     RULES,
@@ -264,6 +274,27 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("trace", help="trace file to score against")
     predict.set_defaults(handler=_cmd_predict)
 
+    predict_static = sub.add_parser(
+        "predict-static",
+        help="derive a profile-free site database by escape analysis",
+    )
+    predict_static.add_argument("program", choices=PROGRAM_ORDER,
+                                help="workload whose sources to analyze")
+    predict_static.add_argument("-o", "--output", default=None,
+                                help="write the static escape database "
+                                     "here (loadable by simulate --sites)")
+    predict_static.add_argument("--source-root", metavar="DIR", default=None,
+                                help="analyze workload sources under DIR "
+                                     "instead of the installed tree")
+    predict_static.add_argument("--threshold", type=int,
+                                default=DEFAULT_THRESHOLD,
+                                help="short-lived cutoff the emitted "
+                                     "predictor claims (default 32768)")
+    predict_static.add_argument("--json", action="store_true",
+                                help="print the full database document "
+                                     "instead of the summary")
+    predict_static.set_defaults(handler=_cmd_predict_static)
+
     simulate = sub.add_parser(
         "simulate", help="replay a trace against an allocator"
     )
@@ -271,6 +302,12 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--allocator", default="arena",
                           choices=["arena", "firstfit", "bsd"])
     simulate.add_argument("--sites", help="site database (arena allocator)")
+    simulate.add_argument("--predictor", choices=["trained", "static"],
+                          default="trained",
+                          help="arena predictor source: 'trained' loads "
+                               "--sites; 'static' derives the escape-"
+                               "analysis predictor from the traced "
+                               "program's sources (no --sites needed)")
     simulate.add_argument("--arenas", type=int, default=16,
                           help="number of arenas (default 16)")
     simulate.add_argument("--arena-size", type=int, default=4096,
@@ -344,7 +381,35 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("which", help="table number 1-9, or 'all'")
     _add_store_options(table, jobs=True)
     _add_stream_option(table)
+    _add_predictor_option(table)
     table.set_defaults(handler=_cmd_table)
+
+    escape_cmd = sub.add_parser(
+        "escape-eval",
+        help="compare the static escape predictor against trained "
+             "predictors and the oracle over every workload",
+    )
+    escape_cmd.add_argument("--programs", nargs="+", choices=PROGRAM_ORDER,
+                            default=None, metavar="PROG",
+                            help="restrict to these programs (default: all)")
+    escape_cmd.add_argument("--threshold", type=int,
+                            default=DEFAULT_THRESHOLD,
+                            help="short-lived cutoff in bytes "
+                                 "(default 32768)")
+    escape_cmd.add_argument("--arenas", type=int, default=16,
+                            help="number of arenas (default 16)")
+    escape_cmd.add_argument("--arena-size", type=int, default=4096,
+                            help="bytes per arena (default 4096)")
+    escape_cmd.add_argument("--json", action="store_true",
+                            help="print the machine-readable comparison "
+                                 "instead of the table")
+    _add_store_options(escape_cmd)
+    _add_stream_option(escape_cmd)
+    escape_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="decode trace chunks with N worker "
+                                 "processes (needs --stream; output "
+                                 "stays byte-identical)")
+    escape_cmd.set_defaults(handler=_cmd_escape_eval)
 
     stats = sub.add_parser(
         "stats", help="per-site misprediction accounting for one workload"
@@ -404,6 +469,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                     f"(default {DEFAULT_TELEMETRY_DIR})")
     _add_store_options(profile_sites)
     _add_stream_option(profile_sites)
+    _add_predictor_option(profile_sites)
     profile_sites.add_argument("--jobs", type=int, default=1, metavar="N",
                                help="shard the attribution fold over N "
                                     "worker processes (needs --stream; "
@@ -570,6 +636,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "path with N workers (records the same "
                                 "deterministic metrics; wall time is "
                                 "what changes)")
+    _add_predictor_option(bench_run)
     bench_run.set_defaults(handler=_cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -684,6 +751,20 @@ def _add_store_options(
                          help="worker processes (default 1: serial)")
 
 
+def _add_predictor_option(sub: argparse.ArgumentParser) -> None:
+    """The ``--predictor`` mode flag of store-backed arena consumers.
+
+    ``trained`` (the default) profiles the ``train`` execution;
+    ``static`` swaps in the profile-free escape-analysis predictor —
+    same key space, no profiling run.
+    """
+    sub.add_argument("--predictor", choices=["trained", "static"],
+                     default="trained",
+                     help="arena predictor source (default trained: "
+                          "profile the train execution; static: the "
+                          "escape-analysis predictor, no profiling run)")
+
+
 def _add_stream_option(sub: argparse.ArgumentParser) -> None:
     """The ``--stream`` flag shared by ``simulate``/``table``/``stats``.
 
@@ -757,6 +838,49 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict_static(args: argparse.Namespace) -> int:
+    source_root = Path(args.source_root) if args.source_root else None
+    db = build_escape_db(args.program, source_root=source_root,
+                         threshold=args.threshold)
+    if args.output:
+        db.save(args.output)
+        print(f"static escape DB -> {args.output}", file=sys.stderr)
+    if args.json:
+        print(db.to_json(), end="")
+        return 0
+    counts = db.class_counts()
+    truncated = " (truncated)" if db.truncated else ""
+    print(f"program:   {db.program}")
+    print(f"files:     {len(db.files)}")
+    print(f"sites:     {len(db.sites)}{truncated}")
+    print(f"short:     {counts['short']}")
+    print(f"escaping:  {counts['escaping']}")
+    print(f"unknown:   {counts['unknown']}")
+    return 0
+
+
+def _cmd_escape_eval(args: argparse.Namespace) -> int:
+    if args.jobs > 1 and not args.stream:
+        raise ValueError(
+            "escape-eval: --jobs shards the streamed replay; add --stream"
+        )
+    store = _make_store(args)
+    result = escape_eval(
+        store,
+        programs=args.programs,
+        threshold=args.threshold,
+        num_arenas=args.arenas,
+        arena_size=args.arena_size,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_escape_eval(result))
+    if args.stream:
+        _report_peak_rss()
+    return 0
+
+
 def _report_peak_rss() -> None:
     """Record and print peak RSS (stderr, so stdout stays byte-identical).
 
@@ -800,9 +924,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     elif args.allocator == "bsd":
         result = simulate_bsd(trace, telemetry=telemetry)
     else:
-        if not args.sites:
-            raise ValueError("the arena allocator needs --sites")
-        predictor = load_predictor(args.sites)
+        if args.predictor == "static":
+            program = (
+                trace.header.program if hasattr(trace, "header")
+                else trace.program
+            )
+            predictor = build_escape_db(program).to_predictor()
+        elif not args.sites:
+            raise ValueError(
+                "the arena allocator needs --sites (or --predictor static)"
+            )
+        else:
+            predictor = load_predictor(args.sites)
         result = simulate_arena(
             trace, predictor,
             num_arenas=args.arenas, arena_size=args.arena_size,
@@ -869,6 +1002,7 @@ def _make_store(args: argparse.Namespace) -> TraceStore:
         # Sharded decode only exists for file-backed streams; a
         # materialized store ignores jobs, so don't pass it through.
         jobs=getattr(args, "jobs", 1) if streaming else 1,
+        predictor_mode=getattr(args, "predictor", "trained"),
     )
 
 
@@ -1166,6 +1300,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     store = TraceStore(
         scale=scale, cache_dir=args.cache_dir, use_cache=not args.no_cache,
         streaming=args.jobs > 1, jobs=args.jobs,
+        predictor_mode=args.predictor,
     )
     bench_store = BenchStore(args.bench_dir)
     session = run_session(
@@ -1174,7 +1309,8 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         programs=args.programs,
         allocators=args.allocators,
         repeats=args.repeats,
-        extra_provenance={"replay_jobs": args.jobs},
+        extra_provenance={"replay_jobs": args.jobs,
+                          "predictor": args.predictor},
     )
     # Attach the top-K site attribution per program so a regressed
     # session explains *which sites* paid.  Deterministic but ungated:

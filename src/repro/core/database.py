@@ -20,6 +20,7 @@ from repro.core.predictor import (
     LifetimePredictor,
     SitePredictor,
     SizeOnlyPredictor,
+    StaticEscapePredictor,
 )
 
 __all__ = ["save_predictor", "load_predictor", "DatabaseFormatError"]
@@ -35,7 +36,10 @@ class DatabaseFormatError(Exception):
 
 def save_predictor(predictor: LifetimePredictor, path: PathLike) -> None:
     """Write a trained predictor to ``path`` as JSON."""
-    if not isinstance(predictor, (SitePredictor, SizeOnlyPredictor, CCEPredictor)):
+    if not isinstance(
+        predictor,
+        (SitePredictor, SizeOnlyPredictor, CCEPredictor, StaticEscapePredictor),
+    ):
         raise TypeError(f"cannot serialize predictor type {type(predictor)!r}")
     doc = {
         "format": "repro-sites",
@@ -61,6 +65,19 @@ def save_predictor(predictor: LifetimePredictor, path: PathLike) -> None:
         doc["size_rounding"] = predictor.size_rounding
         doc["bits"] = predictor.bits
         doc["keys"] = [[key, size] for key, size in sorted(predictor.keys)]
+    elif isinstance(predictor, StaticEscapePredictor):
+        doc["kind"] = "static-escape"
+        doc["program"] = predictor.program
+        doc["sites"] = [
+            {"chain": list(chain), "size": size, "class": cls}
+            for (chain, size), cls in sorted(
+                predictor.classes.items(),
+                key=lambda item: (
+                    item[0][0],
+                    (0, 0) if item[0][1] is None else (1, item[0][1]),
+                ),
+            )
+        ]
     else:
         raise TypeError(f"cannot serialize predictor type {type(predictor)!r}")
     with open(path, "w", encoding="utf-8") as fh:
@@ -74,6 +91,22 @@ def load_predictor(path: PathLike) -> LifetimePredictor:
             doc = json.load(fh)
         except json.JSONDecodeError as exc:
             raise DatabaseFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(doc, dict) and doc.get("format") == "repro-static-escape":
+        # A static escape database (repro.static.escape) loads as its
+        # predictor directly, so `simulate --sites` takes either kind.
+        try:
+            return StaticEscapePredictor(
+                {
+                    (tuple(entry["chain"]), entry["size"]): entry["class"]
+                    for entry in doc["sites"]
+                },
+                threshold=doc["threshold"],
+                program=doc.get("program", "?"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise DatabaseFormatError(
+                f"{path}: malformed database: {exc}"
+            ) from exc
     if not isinstance(doc, dict) or doc.get("format") != "repro-sites":
         raise DatabaseFormatError(f"{path}: not a site-database file")
     if doc.get("version") != FORMAT_VERSION:
@@ -105,6 +138,15 @@ def load_predictor(path: PathLike) -> LifetimePredictor:
                 threshold=doc["threshold"],
                 size_rounding=doc["size_rounding"],
                 bits=doc["bits"],
+                program=doc["program"],
+            )
+        if kind == "static-escape":
+            return StaticEscapePredictor(
+                {
+                    (tuple(entry["chain"]), entry["size"]): entry["class"]
+                    for entry in doc["sites"]
+                },
+                threshold=doc["threshold"],
                 program=doc["program"],
             )
     except (KeyError, TypeError) as exc:

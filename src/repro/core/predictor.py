@@ -37,7 +37,13 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from repro.core.profile import SiteKey, SiteProfile, build_profile
-from repro.core.sites import FULL_CHAIN, CallChain, round_size, site_key
+from repro.core.sites import (
+    FULL_CHAIN,
+    CallChain,
+    prune_recursive_cycles,
+    round_size,
+    site_key,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -55,6 +61,7 @@ __all__ = [
     "LifetimePredictor",
     "SitePredictor",
     "SizeOnlyPredictor",
+    "StaticEscapePredictor",
     "train_site_predictor",
     "train_size_only_predictor",
     "actual_short_lived_bytes",
@@ -170,6 +177,83 @@ class SizeOnlyPredictor(LifetimePredictor):
 
     def predicts_short_lived(self, chain: CallChain, size: int) -> bool:
         return size in self.sizes
+
+
+class StaticEscapePredictor(LifetimePredictor):
+    """Predicts short-lived objects from a static escape classification.
+
+    The database comes from :mod:`repro.static.escape` — no profiling
+    run involved — and maps ``(cycle-pruned chain, size)`` keys to an
+    escape class: ``"short"``, ``"escaping"``, or ``"unknown"``.  A size
+    of ``None`` is the fold-failure wildcard matching every dynamic
+    size.  An allocation is predicted short-lived only when at least one
+    database entry matches it and *every* matching entry (exact size and
+    wildcard alike) is classified ``"short"`` — ``"escaping"`` and
+    ``"unknown"`` are both conservative "no" answers, so an unknown
+    escape can never be predicted short.
+
+    This class is pure data (plain dicts of strings) so predictors cross
+    process boundaries in sharded evaluation, and it lives in
+    :mod:`repro.core` so the allocators and tables need no dependency on
+    the static layer.
+    """
+
+    def __init__(
+        self,
+        classes: Dict[Tuple[Tuple[str, ...], Optional[int]], str],
+        threshold: int = DEFAULT_THRESHOLD,
+        program: str = "?",
+    ):
+        self.classes = dict(classes)
+        self.threshold = threshold
+        self.program = program
+        self._by_chain: Dict[Tuple[str, ...], Dict[Optional[int], str]] = {}
+        for (chain, size), cls in self.classes.items():
+            self._by_chain.setdefault(chain, {})[size] = cls
+
+    @property
+    def site_count(self) -> int:
+        """Number of sites classified short — the entries that predict."""
+        return sum(1 for cls in self.classes.values() if cls == "short")
+
+    def key_for(
+        self, chain: CallChain, size: int
+    ) -> Tuple[Tuple[str, ...], Optional[int]]:
+        """Abstract an allocation to this database's key space."""
+        return (prune_recursive_cycles(tuple(chain)), size)
+
+    def matching_keys(
+        self, chain: CallChain, size: int
+    ) -> Tuple[Tuple[Tuple[str, ...], Optional[int]], ...]:
+        """The database keys that match ``(chain, size)``, if any."""
+        pruned = prune_recursive_cycles(tuple(chain))
+        entry = self._by_chain.get(pruned)
+        if not entry:
+            return ()
+        keys = []
+        if size in entry:
+            keys.append((pruned, size))
+        if None in entry and size is not None:
+            keys.append((pruned, None))
+        return tuple(keys)
+
+    def class_of(self, chain: CallChain, size: int) -> Optional[str]:
+        """The effective class for an allocation: the worst matching entry.
+
+        ``None`` when no entry matches (the site is outside the static
+        space); otherwise ``"unknown"`` dominates ``"escaping"``
+        dominates ``"short"``, mirroring :meth:`predicts_short_lived`.
+        """
+        matched = [self.classes[key] for key in self.matching_keys(chain, size)]
+        if not matched:
+            return None
+        for cls in ("unknown", "escaping"):
+            if cls in matched:
+                return cls
+        return "short"
+
+    def predicts_short_lived(self, chain: CallChain, size: int) -> bool:
+        return self.class_of(chain, size) == "short"
 
 
 def train_site_predictor(
@@ -386,6 +470,7 @@ def _evaluate(
     test_keys = set()
     threshold = predictor.threshold
     is_site_based = isinstance(predictor, SitePredictor)
+    is_static = isinstance(predictor, StaticEscapePredictor)
 
     for chain_id, size, lifetime, touches in iter_object_lifetimes(source):
         chain = chain_of(chain_id)
@@ -399,6 +484,13 @@ def _evaluate(
             hit = key in predictor.sites  # type: ignore[attr-defined]
             if hit:
                 matched_keys.add(key)
+        elif is_static:
+            test_keys.add(predictor.key_for(chain, size))  # type: ignore[attr-defined]
+            hit = predictor.predicts_short_lived(chain, size)
+            if hit:
+                matched_keys.update(
+                    predictor.matching_keys(chain, size)  # type: ignore[attr-defined]
+                )
         else:
             test_keys.add(size)
             hit = predictor.predicts_short_lived(chain, size)

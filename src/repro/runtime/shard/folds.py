@@ -42,6 +42,7 @@ from repro.core.predictor import (
     LifetimePredictor,
     PredictionEvaluation,
     SitePredictor,
+    StaticEscapePredictor,
 )
 from repro.core.sites import ChainTable, site_key
 from repro.runtime.stream.protocol import StreamHeader, StreamSummary
@@ -109,6 +110,7 @@ class EvaluateFold(LifetimeFold):
         self.matched_keys: Set = set()
         self.test_keys: Set = set()
         self._site_based = isinstance(predictor, SitePredictor)
+        self._static = isinstance(predictor, StaticEscapePredictor)
 
     def add(
         self, chain_id: int, size: int, lifetime: int, touches: int
@@ -125,6 +127,15 @@ class EvaluateFold(LifetimeFold):
             hit = key in predictor.sites  # type: ignore[attr-defined]
             if hit:
                 self.matched_keys.add(key)
+        elif self._static:
+            self.test_keys.add(
+                predictor.key_for(chain, size)  # type: ignore[attr-defined]
+            )
+            hit = predictor.predicts_short_lived(chain, size)
+            if hit:
+                self.matched_keys.update(
+                    predictor.matching_keys(chain, size)  # type: ignore[attr-defined]
+                )
         else:
             self.test_keys.add(size)
             hit = predictor.predicts_short_lived(chain, size)

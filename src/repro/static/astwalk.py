@@ -18,7 +18,12 @@ from source, without importing or executing any workload code:
 * function references that *escape* without being called (bound methods
   stored in dispatch dicts, allocator callbacks like perl's
   ``self.xalloc``, lambdas passed as arguments) are recorded so the call
-  graph can over-approximate indirect dispatch.
+  graph can over-approximate indirect dispatch;
+* name bindings and value flows (returned, stored, freed, passed as an
+  argument) are recorded per unit so :mod:`repro.static.escape` can run
+  its flow-insensitive lifetime classification without re-walking the
+  AST.  Values are referenced positionally: ``("name", id)``,
+  ``("alloc", (line, col))``, ``("call", (line, col))``.
 
 Everything here is per-module and syntactic; cross-module name
 resolution, constant folding, and the traced-call-graph projection live
@@ -82,6 +87,10 @@ class CallSite:
     callable_args: Tuple[str, ...]
     line: int
     arg_exprs: Tuple[ast.expr, ...] = ()
+    #: Column offset of the call expression.  Together with ``line`` it
+    #: identifies the call site for value-flow references; synthetic
+    #: frame call sites keep the ``-1`` default.
+    col: int = -1
 
 
 @dataclass
@@ -102,6 +111,20 @@ class FuncUnit:
     allocs: List[AllocSite] = field(default_factory=list)
     escapes: List[str] = field(default_factory=list)
     children: List[str] = field(default_factory=list)
+    #: Name bindings for the escape analysis: ``(name, ref)`` pairs where
+    #: ``ref`` is a value reference (see module docstring) bound to a
+    #: local name by assignment or unpacking.
+    assigns: List[Tuple[str, tuple]] = field(default_factory=list)
+    #: Value flows for the escape analysis: ``(ref, kind, aux)`` triples.
+    #: ``kind`` is ``"ret"`` (returned), ``"store"`` (written into an
+    #: attribute/subscript/container or a global), ``"free"`` (consumed by
+    #: ``realloc``), ``"arg"`` (passed to a call; ``aux`` is
+    #: ``((line, col), position-or-kwname)``), or ``"unk"`` (flows
+    #: somewhere the analysis cannot follow).
+    flows: List[tuple] = field(default_factory=list)
+    #: Names declared ``global``/``nonlocal`` — assignments through them
+    #: make a value reachable from outside the unit.
+    global_names: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -145,6 +168,31 @@ def _callable_ref_name(node: ast.expr) -> Optional[str]:
         return node.attr
     if isinstance(node, ast.Name):
         return node.id
+    return None
+
+
+def _value_ref(node: ast.expr) -> Optional[tuple]:
+    """A trackable value reference for ``node``, or ``None``.
+
+    References identify the producing construct positionally so the
+    escape analysis can connect flows back to allocation and call sites:
+    ``("name", id)`` for a plain name load, ``("alloc", (line, col))``
+    for a ``malloc``/``realloc`` call, ``("call", (line, col))`` for any
+    other call.  Expressions that cannot evaluate to the tracked heap
+    reference itself (arithmetic, attribute/subscript reads, constants,
+    comprehensions) return ``None`` — they produce fresh values.
+    """
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ALLOC_METHODS
+        ):
+            return ("alloc", (node.lineno, node.col_offset))
+        return ("call", (node.lineno, node.col_offset))
+    if isinstance(node, ast.NamedExpr):
+        return _value_ref(node.value)
     return None
 
 
@@ -206,6 +254,173 @@ class _UnitWalker(ast.NodeVisitor):
         for stmt in node.body:
             walker.visit(stmt)
 
+    # -- value flows ---------------------------------------------------
+
+    def _flow(self, ref: tuple, kind: str, aux=None) -> None:
+        self.unit.flows.append((ref, kind, aux))
+
+    def _flow_value(self, node: Optional[ast.expr], kind: str) -> None:
+        """Record that ``node``'s value flows out of the unit as ``kind``.
+
+        Conditional expressions and ``and``/``or`` chains forward the
+        flow to every operand that may be the result.  A returned tuple
+        literal is transparent (callers unpack it, so its elements are
+        themselves returned); any other container literal keeps its
+        elements alive with itself (``store`` when the container is
+        being stored, ``unk`` otherwise).
+        """
+        if node is None:
+            return
+        ref = _value_ref(node)
+        if ref is not None:
+            self._flow(ref, kind)
+            return
+        if isinstance(node, ast.IfExp):
+            self._flow_value(node.body, kind)
+            self._flow_value(node.orelse, kind)
+        elif isinstance(node, ast.BoolOp):
+            for operand in node.values:
+                self._flow_value(operand, kind)
+        elif isinstance(node, ast.Starred):
+            self._flow_value(node.value, kind)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            if kind == "ret" and isinstance(node, ast.Tuple):
+                elt_kind = "ret"
+            elif kind == "store":
+                elt_kind = "store"
+            else:
+                elt_kind = "unk"
+            for elt in node.elts:
+                self._flow_value(elt, elt_kind)
+
+    def _bind(self, target: ast.expr, value: ast.expr) -> None:
+        """Record bindings/flows for one assignment ``target = value``."""
+        if isinstance(value, ast.IfExp):
+            self._bind(target, value.body)
+            self._bind(target, value.orelse)
+            return
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                self._bind(target, operand)
+            return
+        if isinstance(target, ast.Name):
+            ref = _value_ref(value)
+            if ref is None:
+                self._flow_value(value, "store")
+            elif target.id in self.unit.global_names:
+                self._flow(ref, "store")
+            else:
+                self.unit.assigns.append((target.id, ref))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, ast.Tuple) and len(value.elts) == len(
+                target.elts
+            ):
+                for t, v in zip(target.elts, value.elts):
+                    self._bind(t, v)
+                return
+            ref = _value_ref(value)
+            if ref is None:
+                self._flow_value(value, "unk")
+                return
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                if isinstance(inner, ast.Name):
+                    if inner.id in self.unit.global_names:
+                        self._flow(ref, "store")
+                    else:
+                        self.unit.assigns.append((inner.id, ref))
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value
+            ref = _value_ref(value)
+            if ref is not None and isinstance(base, ast.Name):
+                # Keep the receiver's name: storing into a field of a
+                # known object (``self.handle = handle``) is a different
+                # fate than storing into an arbitrary structure.
+                self._flow(ref, "store", base.id)
+            else:
+                self._flow_value(value, "store")
+
+    def _arg_flow(self, arg: ast.expr, key: tuple, slot) -> None:
+        if isinstance(arg, ast.Starred):
+            self._flow_value(arg.value, "unk")
+            return
+        if isinstance(arg, ast.IfExp):
+            self._arg_flow(arg.body, key, slot)
+            self._arg_flow(arg.orelse, key, slot)
+            return
+        if isinstance(arg, ast.BoolOp):
+            for operand in arg.values:
+                self._arg_flow(operand, key, slot)
+            return
+        ref = _value_ref(arg)
+        if ref is not None:
+            self._flow(ref, "arg", (key, slot))
+        elif isinstance(arg, ast.Attribute) and isinstance(
+            arg.value, ast.Name
+        ):
+            # ``f(x.field)`` passes a piece of ``x``: record a field
+            # argument flow on ``x`` so a callee that frees the field
+            # (``heap.free(cell.node)``) is visible to x's summary.
+            self._flow(("name", arg.value.id), "argf", (key, slot))
+        elif isinstance(arg, (ast.Tuple, ast.List, ast.Set)):
+            self._flow_value(arg, "unk")
+
+    def _record_arg_flows(self, node: ast.Call) -> None:
+        key = (node.lineno, node.col_offset)
+        for pos, arg in enumerate(node.args):
+            self._arg_flow(arg, key, pos)
+        for kw in node.keywords:
+            self._arg_flow(kw.value, key, kw.arg)
+
+    # -- statements that bind or leak values ---------------------------
+    # Each visitor reproduces generic_visit's child traversal order
+    # exactly, so the calls/escapes the golden site DB depends on are
+    # recorded in the same sequence as before.
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self.visit(target)
+        for target in node.targets:
+            self._bind(target, node.value)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.visit(node.target)
+        if node.annotation is not None:
+            self.visit(node.annotation)
+        if node.value is not None:
+            self._bind(node.target, node.value)
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.target)
+        self._flow_value(node.value, "store")
+        self.visit(node.value)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self.visit(node.target)
+        self._bind(node.target, node.value)
+        self.visit(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._flow_value(node.value, "ret")
+            self.visit(node.value)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if node.value is not None:
+            self._flow_value(node.value, "unk")
+            self.visit(node.value)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self._flow_value(node.value, "unk")
+        self.visit(node.value)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.unit.global_names.extend(node.names)
+
+    visit_Nonlocal = visit_Global  # type: ignore[assignment]
+
     # -- calls and allocations ----------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -234,6 +449,16 @@ class _UnitWalker(ast.NodeVisitor):
                     col=node.col_offset,
                 )
             )
+            if func.attr == "realloc" and node.args:
+                old = _value_ref(node.args[0])
+                if old is not None:
+                    self._flow(old, "free")
+            for pos, arg in enumerate(node.args):
+                if pos == size_index or (func.attr == "realloc" and pos == 0):
+                    continue
+                self._flow_value(arg, "store")
+            for kw in node.keywords:
+                self._flow_value(kw.value, "store")
             self.visit(func.value)
         elif isinstance(func, ast.Name):
             self.unit.calls.append(
@@ -244,8 +469,10 @@ class _UnitWalker(ast.NodeVisitor):
                     callable_args=tuple(callable_args),
                     line=node.lineno,
                     arg_exprs=tuple(node.args),
+                    col=node.col_offset,
                 )
             )
+            self._record_arg_flows(node)
         elif isinstance(func, ast.Attribute):
             if isinstance(func.value, ast.Name):
                 base = func.value.id
@@ -265,8 +492,10 @@ class _UnitWalker(ast.NodeVisitor):
                     callable_args=tuple(callable_args),
                     line=node.lineno,
                     arg_exprs=tuple(node.args),
+                    col=node.col_offset,
                 )
             )
+            self._record_arg_flows(node)
             self.visit(func.value)
         else:
             self.unit.calls.append(
@@ -276,8 +505,10 @@ class _UnitWalker(ast.NodeVisitor):
                     base=None,
                     callable_args=tuple(callable_args),
                     line=node.lineno,
+                    col=node.col_offset,
                 )
             )
+            self._record_arg_flows(node)
             self.visit(func)
         # Arguments may contain nested calls/lambdas of their own; the
         # lambdas already created above are deduplicated by the indexer.

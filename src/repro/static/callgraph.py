@@ -476,16 +476,46 @@ class _Scope:
 
 
 class _Projector:
-    """Builds the projected graph by transparent closure over the scope."""
+    """Builds the projected graph by transparent closure over the scope.
+
+    Subclasses (:mod:`repro.static.escape`) can ride along with the
+    closure through four hooks: an opaque *carry* value is created at
+    every context entry (:meth:`_root_carry`), transformed when the
+    closure descends into an untraced callee (:meth:`_carry_into`), and
+    handed to :meth:`_on_alloc` / :meth:`_on_traced_call` at each folded
+    allocation and traced-call crossing.  The base class carries
+    ``None`` everywhere, so the projection itself is unchanged.
+    """
 
     def __init__(self, scope: _Scope, graph: ProgramGraph):
         self.scope = scope
         self.graph = graph
-        self._seen: Set[Tuple[str, str, Tuple[Tuple[str, int], ...]]] = set()
+        self._seen: Set[tuple] = set()
+        #: unit ids on the current enter_context stack, for recursion
+        self._active: Set[str] = set()
 
     @staticmethod
     def _bind_key(bindings: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
         return tuple(sorted(bindings.items()))
+
+    # -- collector hooks ----------------------------------------------
+
+    def _root_carry(self, unit: FuncUnit):
+        """Carry value for a closure rooted at ``unit`` (hashable)."""
+        return None
+
+    def _carry_into(self, carry, unit: FuncUnit, call: CallSite,
+                    fell_back: bool):
+        """Carry for an untraced callee entered from ``unit`` at ``call``."""
+        return None
+
+    def _on_alloc(self, caller_ctx: str, ctx: str, unit: FuncUnit,
+                  alloc, size: Optional[int], carry) -> None:
+        """One allocation site folded into ``(caller_ctx, ctx)``."""
+
+    def _on_traced_call(self, ctx: str, unit: FuncUnit, call: CallSite,
+                        target: FuncUnit, fell_back: bool, carry) -> None:
+        """One traced-call crossing from context ``ctx`` into ``target``."""
 
     def _bindings_for(
         self,
@@ -517,11 +547,28 @@ class _Projector:
         """Record everything context ``ctx`` can do when entered from
         ``caller_ctx`` with the given parameter bindings, closing over
         untraced callees and queueing crossings into traced ones."""
-        key = (caller_ctx, unit.unit_id, self._bind_key(bindings))
+        if unit.unit_id in self._active:
+            # Recursive re-entry (direct or mutual): folded arguments
+            # like ``f(n - 1)`` would otherwise descend through an
+            # unbounded sequence of distinct constants.  Degrading to
+            # the wildcard binding makes the visit key converge.
+            bindings = {}
+        carry = self._root_carry(unit)
+        key = (caller_ctx, unit.unit_id, self._bind_key(bindings), carry)
         if key in self._seen:
             return
         self._seen.add(key)
-        self._close(ctx, caller_ctx, unit, bindings, depth=0, visited=set())
+        outermost = unit.unit_id not in self._active
+        if outermost:
+            self._active.add(unit.unit_id)
+        try:
+            self._close(
+                ctx, caller_ctx, unit, bindings, depth=0, visited=set(),
+                carry=carry,
+            )
+        finally:
+            if outermost:
+                self._active.discard(unit.unit_id)
 
     def _close(
         self,
@@ -530,9 +577,10 @@ class _Projector:
         unit: FuncUnit,
         bindings: Dict[str, int],
         depth: int,
-        visited: Set[Tuple[str, Tuple[Tuple[str, int], ...]]],
+        visited: Set[tuple],
+        carry=None,
     ) -> None:
-        vkey = (unit.unit_id, self._bind_key(bindings))
+        vkey = (unit.unit_id, self._bind_key(bindings), carry)
         if vkey in visited or depth > CAPTURE_DEPTH:
             return
         visited.add(vkey)
@@ -542,6 +590,7 @@ class _Projector:
             self.graph.alloc_sizes.setdefault((caller_ctx, ctx), set()).add(
                 size
             )
+            self._on_alloc(caller_ctx, ctx, unit, alloc, size, carry)
         for call in unit.calls:
             targets, fell_back = self.scope.resolve(unit, call)
             if fell_back:
@@ -563,10 +612,14 @@ class _Projector:
                 )
                 if target.traced:
                     self.graph.edges.setdefault(ctx, set()).add(target.name)
+                    self._on_traced_call(
+                        ctx, unit, call, target, fell_back, carry
+                    )
                     self.enter_context(target.name, ctx, target, tb)
                 else:
                     self._close(
-                        ctx, caller_ctx, target, tb, depth + 1, visited
+                        ctx, caller_ctx, target, tb, depth + 1, visited,
+                        carry=self._carry_into(carry, unit, call, fell_back),
                     )
             # Callable arguments may be invoked by the receiver from this
             # same dynamic context: add direct edges/closure for them.
@@ -577,10 +630,14 @@ class _Projector:
                         self.graph.edges.setdefault(ctx, set()).add(
                             target.name
                         )
+                        self._on_traced_call(
+                            ctx, unit, call, target, True, carry
+                        )
                         self.enter_context(target.name, ctx, target, {})
                     else:
                         self._close(
-                            ctx, caller_ctx, target, {}, depth + 1, visited
+                            ctx, caller_ctx, target, {}, depth + 1, visited,
+                            carry=self._carry_into(carry, unit, call, True),
                         )
 
     def _ref_targets(self, ref: str) -> List[str]:
@@ -602,14 +659,16 @@ def _find_workload_class(
     )
 
 
-def build_program_graph(
-    program: str, source_root: Optional[Path] = None
-) -> ProgramGraph:
-    """Analyze one program's sources into a :class:`ProgramGraph`.
+def _build_with_projector(
+    program: str,
+    source_root: Optional[Path],
+    projector_cls: type,
+) -> Tuple[ProgramGraph, _Scope, "_Projector"]:
+    """Run one projection pass and return the graph, scope, and projector.
 
-    ``source_root`` is the directory containing the ``repro`` package
-    (defaults to the running installation) — the audit drift tests point
-    it at mutated copies of the tree.
+    ``projector_cls`` lets :mod:`repro.static.escape` substitute its
+    collecting subclass; the returned projector instance carries whatever
+    the subclass accumulated during the closure.
     """
     root = Path(source_root) if source_root is not None else default_source_root()
     files = workload_scope_files(program, root)
@@ -632,7 +691,7 @@ def build_program_graph(
         program=program,
         files=tuple(sorted(modules)),
     )
-    projector = _Projector(scope, graph)
+    projector = projector_cls(scope, graph)
     # The runtime harness (Workload.trace) instantiates the class and
     # calls run() with only the root context on the chain stack.
     entries: List[str] = []
@@ -646,4 +705,16 @@ def build_program_graph(
         else:
             projector.enter_context(ROOT_CONTEXT, "", unit, {})
     graph.unresolved = sorted(set(graph.unresolved))
-    return graph
+    return graph, scope, projector
+
+
+def build_program_graph(
+    program: str, source_root: Optional[Path] = None
+) -> ProgramGraph:
+    """Analyze one program's sources into a :class:`ProgramGraph`.
+
+    ``source_root`` is the directory containing the ``repro`` package
+    (defaults to the running installation) — the audit drift tests point
+    it at mutated copies of the tree.
+    """
+    return _build_with_projector(program, source_root, _Projector)[0]

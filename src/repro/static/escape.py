@@ -1,0 +1,717 @@
+"""Flow-insensitive escape analysis: lifetime classes without a profile.
+
+The trained predictors of :mod:`repro.core.predictor` need a profiling
+run per workload before they pay off.  This module derives a *zero
+profile* predictor from source alone: every allocation site of the
+static site space (:mod:`repro.static.sitedb`) is classified as
+
+* ``"short"`` — the object is provably freed, or provably dead, within
+  its allocating region (possibly after being returned through wrappers
+  to a caller that frees it);
+* ``"escaping"`` — the object is stored into a longer-lived structure,
+  captured by a closure, reachable from a global, or returned past the
+  chain root;
+* ``"unknown"`` — some flow the analysis cannot follow (dynamic
+  dispatch, untracked containers, unresolved calls).
+
+Only ``"short"`` sites are ever predicted short-lived; ``"escaping"``
+and ``"unknown"`` are both conservative "no" answers, which is the
+soundness stance the evaluation gates on.
+
+The analysis runs in three layers:
+
+1. **Per-region atoms.**  Each *region* — a ``def`` together with the
+   ``heap.frame`` blocks nested in it, which share its local namespace —
+   gets a name→roots alias map from the bindings
+   :mod:`repro.static.astwalk` recorded, and every root (allocation,
+   call result, parameter) accumulates *atoms* describing what the
+   region does with the value: ``free``, ``store``, ``unk``, ``ret``.
+   Argument flows resolve through the call graph's name resolution into
+   callee *parameter summaries*, so a value passed to a callee that
+   frees it picks up ``free``, not ``unk``; a callee that returns its
+   argument aliases the flow back onto the caller's call result.  The
+   summaries are computed as one monotone fixpoint over all regions.
+
+2. **Context lift.**  The classifications must live in the *projected
+   chain* space, so an :class:`_EscapeCollector` rides along with the
+   call-graph projection (:class:`repro.static.callgraph._Projector`
+   hooks) and records, per ``(caller_ctx, ctx)`` edge and folded size,
+   the expanded atom set of every allocation — with ``ret`` atoms
+   resolved against a *carry* describing where a returned value lands:
+   ``("up", p)`` for values leaving the context ``p`` chain levels up,
+   or the calling region's own usage atoms for untraced wrappers.
+
+3. **Chain classification.**  For each enumerated static site the
+   ``("up", p)`` atoms are resolved against the concrete chain using the
+   recorded result-usage table, yielding the final class.
+
+The emitted :class:`StaticEscapeDB` shares the trained DBs' key space
+(cycle-pruned chain + folded size, wildcard ``None`` matching any size)
+and wraps into a :class:`repro.core.predictor.StaticEscapePredictor`
+that plugs unmodified into simulation, tables, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.predictor import DEFAULT_THRESHOLD, StaticEscapePredictor
+from repro.runtime.stackcap import CAPTURE_DEPTH
+from repro.static.astwalk import AllocSite, CallSite, FuncUnit
+from repro.static.callgraph import (
+    _build_with_projector,
+    _Projector,
+    _Scope,
+    _NOOP_METHODS,
+)
+from repro.static.sitedb import DEFAULT_MAX_SITES, _size_sort_key
+
+__all__ = [
+    "CLASS_SHORT",
+    "CLASS_ESCAPING",
+    "CLASS_UNKNOWN",
+    "StaticEscapeDB",
+    "build_escape_db",
+    "ESCAPE_FORMAT_NAME",
+    "ESCAPE_FORMAT_VERSION",
+]
+
+CLASS_SHORT = "short"
+CLASS_ESCAPING = "escaping"
+CLASS_UNKNOWN = "unknown"
+
+ESCAPE_FORMAT_NAME = "repro-static-escape"
+ESCAPE_FORMAT_VERSION = 1
+
+#: Methods that store their argument into the receiver — the argument's
+#: lifetime becomes the container's, so it escapes its region.
+_STORING_METHODS = frozenset({
+    "append", "add", "insert", "extend", "setdefault", "update", "push",
+})
+
+#: Bare-name builtins that retain a reference to an argument.
+_STORING_BUILTINS = frozenset({"setattr", "vars", "globals"})
+
+
+# ---------------------------------------------------------------------------
+# layer 1: per-region alias maps and atom summaries
+
+
+@dataclass
+class _Region:
+    """One analysis namespace: a def plus its nested frame blocks."""
+
+    region_id: str
+    units: List[FuncUnit] = field(default_factory=list)
+    #: merged (name, ref) bindings of every member unit
+    assigns: List[Tuple[str, tuple]] = field(default_factory=list)
+    #: merged (ref, kind, aux) flows of every member unit
+    flows: List[tuple] = field(default_factory=list)
+    #: merged (member-unit, call-site) pairs
+    calls: List[Tuple[FuncUnit, CallSite]] = field(default_factory=list)
+    #: (line, col) -> (member-unit, call-site) for argument-flow lookup
+    call_at: Dict[Tuple[int, int], Tuple[FuncUnit, CallSite]] = field(
+        default_factory=dict
+    )
+    #: non-frame child units (closures) of any member
+    closures: List[str] = field(default_factory=list)
+    #: every root this region tracks
+    roots: List[tuple] = field(default_factory=list)
+    #: name -> set of roots it may alias
+    aliases: Dict[str, Set[tuple]] = field(default_factory=dict)
+
+
+class _RegionAnalysis:
+    """Layers 1 of the escape analysis: region summaries over one scope."""
+
+    def __init__(self, scope: _Scope):
+        self.scope = scope
+        self._parent: Dict[str, str] = {}
+        for unit in scope.units.values():
+            for child in unit.children:
+                self._parent[child] = unit.unit_id
+        self._region_of: Dict[str, str] = {}
+        self.regions: Dict[str, _Region] = {}
+        for unit_id in sorted(scope.units):
+            self._region_of[unit_id] = self._find_region_root(unit_id)
+        for unit_id in sorted(scope.units):
+            region = self.regions.setdefault(
+                self._region_of[unit_id], _Region(self._region_of[unit_id])
+            )
+            unit = scope.units[unit_id]
+            region.units.append(unit)
+            region.assigns.extend(unit.assigns)
+            region.flows.extend(unit.flows)
+            for call in unit.calls:
+                region.calls.append((unit, call))
+                if call.col >= 0:
+                    region.call_at[(call.line, call.col)] = (unit, call)
+            for child in unit.children:
+                child_unit = scope.units.get(child)
+                if child_unit is not None and not child_unit.is_frame:
+                    region.closures.append(child)
+        for region in self.regions.values():
+            self._build_aliases(region)
+        #: (region_id, root) -> atom set; the global fixpoint state.
+        self._atoms: Dict[Tuple[str, tuple], FrozenSet] = {}
+        self._run_fixpoint()
+
+    # -- structure -----------------------------------------------------
+
+    def _find_region_root(self, unit_id: str) -> str:
+        seen = set()
+        while (
+            unit_id in self.scope.units
+            and self.scope.units[unit_id].is_frame
+            and unit_id in self._parent
+            and unit_id not in seen
+        ):
+            seen.add(unit_id)
+            unit_id = self._parent[unit_id]
+        return unit_id
+
+    def frame_depth(self, unit_id: str) -> int:
+        """How many frame levels separate ``unit_id`` from its def."""
+        depth = 0
+        seen = set()
+        while (
+            unit_id in self.scope.units
+            and self.scope.units[unit_id].is_frame
+            and unit_id in self._parent
+            and unit_id not in seen
+        ):
+            seen.add(unit_id)
+            depth += 1
+            unit_id = self._parent[unit_id]
+        return depth
+
+    def region_of(self, unit_id: str) -> str:
+        return self._region_of.get(unit_id, unit_id)
+
+    def _build_aliases(self, region: _Region) -> None:
+        root_unit = self.scope.units.get(region.region_id)
+        roots: List[tuple] = []
+        if root_unit is not None:
+            for param in root_unit.params:
+                roots.append(("param", param))
+        for unit in region.units:
+            for alloc in unit.allocs:
+                roots.append(("alloc", (alloc.line, alloc.col)))
+            for call in unit.calls:
+                if call.col >= 0:
+                    roots.append(("call", (call.line, call.col)))
+        region.roots = roots
+        aliases: Dict[str, Set[tuple]] = {}
+        if root_unit is not None:
+            for param in root_unit.params:
+                aliases.setdefault(param, set()).add(("param", param))
+        edges: List[Tuple[str, str]] = []
+        for name, ref in region.assigns:
+            if ref[0] == "name":
+                edges.append((name, ref[1]))
+            else:
+                aliases.setdefault(name, set()).add(ref)
+        changed = True
+        while changed:
+            changed = False
+            for dst, src in edges:
+                srcs = aliases.get(src)
+                if not srcs:
+                    continue
+                cur = aliases.setdefault(dst, set())
+                if not srcs <= cur:
+                    cur.update(srcs)
+                    changed = True
+        region.aliases = aliases
+
+    # -- fixpoint ------------------------------------------------------
+
+    def _run_fixpoint(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            fresh: Dict[Tuple[str, tuple], FrozenSet] = {}
+            for region_id in sorted(self.regions):
+                region = self.regions[region_id]
+                for root in region.roots:
+                    atoms = frozenset(self._compute_root(region, root))
+                    key = (region_id, root)
+                    fresh[key] = atoms
+                    if atoms != self._atoms.get(key, frozenset()):
+                        changed = True
+            self._atoms = fresh
+
+    def _names_of(self, region: _Region, root: tuple) -> Set[str]:
+        return {
+            name for name, roots in region.aliases.items() if root in roots
+        }
+
+    def _compute_root(self, region: _Region, root: tuple) -> Set[str]:
+        names = self._names_of(region, root)
+        out: Set = set()
+        for ref, kind, aux in region.flows:
+            if ref == root or (ref[0] == "name" and ref[1] in names):
+                if kind == "arg":
+                    out |= self._resolve_arg(region, aux)
+                elif kind == "argf":
+                    out |= self._field_arg_atoms(region, aux)
+                elif kind == "store":
+                    out.add(self._store_atom(region, aux))
+                elif kind in ("free", "unk", "ret"):
+                    out.add(kind)
+        for unit, call in region.calls:
+            if call.kind == "attr" and call.base in names:
+                out |= self._receiver_atoms(region, unit, call)
+        for child_id in region.closures:
+            child = self.scope.units.get(child_id)
+            if child is not None and names & set(child.escapes):
+                out.add("store")
+        return out
+
+    def _opaque_base(
+        self, region: _Region, unit: FuncUnit, call: CallSite
+    ) -> bool:
+        """True when the receiver of an attribute call is untrackable.
+
+        ``self.heap.free(obj)`` has no simple-name base, and a plain-name
+        base that is neither a module import, a scoped class, ``self``/
+        ``cls``, nor a locally tracked value names an object the analysis
+        never sees (typically the traced heap handle).  Resolving such
+        calls through the bare-name fallback can land on a same-named
+        workload method and build a summary cycle, so the caller should
+        prefer the method-name heuristics instead.
+        """
+        if call.kind != "attr":
+            return False
+        base = call.base
+        if base is None:
+            return True
+        if base in ("self", "cls", "super"):
+            return False
+        module = self.scope.unit_module.get(unit.unit_id)
+        if module is not None and base in module.import_module:
+            return False
+        if base in self.scope.classes:
+            return False
+        if base in region.aliases:
+            return False
+        return True
+
+    @staticmethod
+    def _api_heuristic(name: str) -> Optional[Set[str]]:
+        """Atoms for a method call on an opaque receiver, by name.
+
+        Returns ``None`` when the name carries no heap-API meaning and
+        normal call-graph resolution should be trusted instead.
+        """
+        if "free" in name.lower():
+            return {"free"}
+        if name in _STORING_METHODS:
+            return {"store"}
+        if name in _NOOP_METHODS:
+            return set()
+        return None
+
+    def _store_atom(self, region: _Region, aux) -> str:
+        """The atom for a ``store`` flow, given the receiver's name.
+
+        A value stored into a field of ``self`` inside ``__init__``
+        does not escape anywhere yet — its lifetime becomes the freshly
+        constructed wrapper's, which the caller tracks as this
+        constructor call's result.  That is exactly the alias-through-
+        return relation, so it contributes ``ret``.  Every other store
+        (into another object, a container, a global) is an escape.
+        """
+        if aux is None:
+            return "store"
+        root_unit = self.scope.units.get(region.region_id)
+        if root_unit is None or root_unit.name != "__init__":
+            return "store"
+        if not root_unit.params:
+            return "store"
+        if ("param", root_unit.params[0]) in region.aliases.get(aux, ()):
+            return "ret"
+        return "store"
+
+    @staticmethod
+    def _field_arg_atoms_filter(atoms: Set[str]) -> Set[str]:
+        """Project callee atoms for a field argument onto its owner.
+
+        Under the one-level field abstraction an object and the handles
+        stored in its fields form one lifetime group: a callee freeing
+        ``x.field`` frees part of ``x``'s group, and one storing it
+        escapes the group.  A callee *returning* the field hands out a
+        reference the owner summary cannot follow — unknown.
+        """
+        out: Set[str] = set()
+        for atom in atoms:
+            if atom == "ret":
+                out.add("unk")
+            else:
+                out.add(atom)
+        return out
+
+    def _field_arg_atoms(self, region: _Region, aux) -> Set[str]:
+        return self._field_arg_atoms_filter(self._resolve_arg(region, aux))
+
+    def _resolve_arg(self, region: _Region, aux) -> Set[str]:
+        (pos, slot) = aux
+        entry = region.call_at.get(pos)
+        if entry is None:
+            return {"unk"}
+        unit, call = entry
+        if self._opaque_base(region, unit, call):
+            hint = self._api_heuristic(call.name)
+            if hint is not None:
+                return hint
+        targets, fell_back = self.scope.resolve(unit, call)
+        if fell_back:
+            return {"unk"}
+        if not targets:
+            lowered = call.name.lower()
+            if "free" in lowered:
+                return {"free"}
+            if call.name in _STORING_METHODS or call.name in _STORING_BUILTINS:
+                return {"store"}
+            return set()
+        out: Set[str] = set()
+        for target_id in targets:
+            target = self.scope.units.get(target_id)
+            if target is None:
+                continue
+            params = list(target.params)
+            if (
+                target.cls is not None
+                and params
+                and params[0] in ("self", "cls")
+            ):
+                params = params[1:]
+            if isinstance(slot, int):
+                pname = params[slot] if slot < len(params) else None
+            elif isinstance(slot, str) and slot in params:
+                pname = slot
+            else:
+                pname = None
+            if pname is None:
+                out.add("unk")
+                continue
+            summary = self._atoms.get(
+                (self.region_of(target_id), ("param", pname)), frozenset()
+            )
+            for atom in summary:
+                if atom == "ret":
+                    # Callee returns its argument: the value re-emerges
+                    # as this call's result; alias the result's atoms in.
+                    out |= self._atoms.get(
+                        (region.region_id, ("call", pos)), frozenset()
+                    )
+                else:
+                    out.add(atom)
+        return out
+
+    def _receiver_atoms(
+        self, region: _Region, unit: FuncUnit, call: CallSite
+    ) -> Set[str]:
+        if call.name == "free":
+            return {"free"}
+        targets, fell_back = self.scope.resolve(unit, call)
+        if fell_back:
+            return {"unk"}
+        if not targets:
+            # Builtin container/str methods never retain the receiver
+            # beyond itself; appending *to* obj keeps obj local.
+            if call.name in _NOOP_METHODS or call.name in _STORING_METHODS:
+                return set()
+            return set()
+        out: Set[str] = set()
+        for target_id in targets:
+            target = self.scope.units.get(target_id)
+            if target is None:
+                continue
+            if (
+                target.cls is not None
+                and target.params
+                and target.params[0] in ("self", "cls")
+            ):
+                summary = self._atoms.get(
+                    (self.region_of(target_id), ("param", target.params[0])),
+                    frozenset(),
+                )
+                for atom in summary:
+                    if atom == "ret" and call.col >= 0:
+                        out |= self._atoms.get(
+                            (
+                                region.region_id,
+                                ("call", (call.line, call.col)),
+                            ),
+                            frozenset(),
+                        )
+                    else:
+                        out.add(atom)
+            else:
+                out.add("unk")
+        return out
+
+    # -- queries used by the collector ---------------------------------
+
+    def alloc_atoms(self, unit_id: str, alloc: AllocSite) -> FrozenSet:
+        return self._atoms.get(
+            (self.region_of(unit_id), ("alloc", (alloc.line, alloc.col))),
+            frozenset(),
+        )
+
+    def result_atoms(self, unit_id: str, call: CallSite) -> FrozenSet:
+        if call.col < 0:
+            return frozenset()
+        return self._atoms.get(
+            (self.region_of(unit_id), ("call", (call.line, call.col))),
+            frozenset(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# layer 2: context lift via projection hooks
+
+
+def _expand(atoms, carry: FrozenSet) -> Set:
+    """Replace symbolic ``ret`` atoms with the closure's carry."""
+    out: Set = set()
+    for atom in atoms:
+        if atom == "ret":
+            out |= carry
+        else:
+            out.add(atom)
+    return out
+
+
+class _EscapeCollector(_Projector):
+    """A projector that also records escape atoms along the closure.
+
+    The *carry* threaded through the closure is a frozenset describing
+    what happens to a value the current unit returns: ``("up", p)``
+    when the return leaves the context ``p`` chain levels up (resolved
+    later against the concrete chain), or concrete atoms when an
+    untraced wrapper's return dissolves into its caller's usage.
+    """
+
+    def __init__(self, scope: _Scope, graph):
+        super().__init__(scope, graph)
+        self.analysis = _RegionAnalysis(scope)
+        #: (caller_ctx, ctx) -> {folded size -> atom set}
+        self.alloc_info: Dict[Tuple[str, str], Dict[Optional[int], Set]] = {}
+        #: (ctx, callee ctx) -> atoms the calling context applies to the
+        #: callee's return value.
+        self.result_info: Dict[Tuple[str, str], Set] = {}
+
+    def _root_carry(self, unit: FuncUnit) -> FrozenSet:
+        return frozenset(
+            {("up", 1 + self.analysis.frame_depth(unit.unit_id))}
+        )
+
+    def _carry_into(
+        self, carry, unit: FuncUnit, call: CallSite, fell_back: bool
+    ) -> FrozenSet:
+        if fell_back or call.kind == "dynamic":
+            return frozenset({"unk"})
+        atoms = self.analysis.result_atoms(unit.unit_id, call)
+        if not atoms:
+            # The wrapper's result is discarded by this caller: a fresh
+            # object returned here leaks (never freed), and the analysis
+            # cannot tell leak from lost track — unknown either way.
+            return frozenset({"unk"})
+        return frozenset(_expand(atoms, carry))
+
+    def _on_alloc(self, caller_ctx, ctx, unit, alloc, size, carry) -> None:
+        atoms = _expand(self.analysis.alloc_atoms(unit.unit_id, alloc), carry)
+        if not atoms:
+            atoms = {"dead"}
+        self.alloc_info.setdefault((caller_ctx, ctx), {}).setdefault(
+            size, set()
+        ).update(atoms)
+
+    def _on_traced_call(
+        self, ctx, unit, call, target, fell_back, carry
+    ) -> None:
+        if call.kind == "frame":
+            return  # frame pushes return no value
+        if fell_back or call.kind == "dynamic":
+            atoms: Set = {"unk"}
+        else:
+            raw = self.analysis.result_atoms(unit.unit_id, call)
+            atoms = _expand(raw, carry) if raw else {"unk"}
+        self.result_info.setdefault((ctx, target.name), set()).update(atoms)
+
+
+# ---------------------------------------------------------------------------
+# layer 3: chain classification
+
+
+def _classify_chain(
+    chain: Tuple[str, ...],
+    size: Optional[int],
+    alloc_info,
+    result_info,
+) -> str:
+    caller = chain[-2] if len(chain) > 1 else ""
+    seed = alloc_info.get((caller, chain[-1]), {}).get(size)
+    if seed is None:
+        return CLASS_UNKNOWN
+    final: Set = set()
+    work: List[Tuple[int, FrozenSet]] = [(len(chain) - 1, frozenset(seed))]
+    seen: Set = set()
+    while work:
+        level, atoms = work.pop()
+        if (level, atoms) in seen:
+            continue
+        seen.add((level, atoms))
+        for atom in atoms:
+            if isinstance(atom, tuple) and atom[0] == "up":
+                landing = level - atom[1]
+                if landing < 0:
+                    # Returned past the chain root: held by the harness
+                    # for the rest of the run.
+                    final.add("store")
+                else:
+                    usage = result_info.get(
+                        (chain[landing], chain[landing + 1])
+                    )
+                    work.append(
+                        (
+                            landing,
+                            frozenset(usage) if usage else frozenset({"unk"}),
+                        )
+                    )
+            else:
+                final.add(atom)
+    if "unk" in final:
+        return CLASS_UNKNOWN
+    if "store" in final:
+        return CLASS_ESCAPING
+    return CLASS_SHORT
+
+
+# ---------------------------------------------------------------------------
+# the emitted database
+
+
+@dataclass
+class StaticEscapeDB:
+    """Escape classifications over the static site space of one program."""
+
+    program: str
+    files: Tuple[str, ...]
+    capture_depth: int
+    threshold: int
+    truncated: bool
+    #: (cycle-pruned chain, folded size or None-wildcard) -> class
+    sites: Dict[Tuple[Tuple[str, ...], Optional[int]], str] = field(
+        default_factory=dict
+    )
+
+    def class_counts(self) -> Dict[str, int]:
+        counts = {CLASS_SHORT: 0, CLASS_ESCAPING: 0, CLASS_UNKNOWN: 0}
+        for cls in self.sites.values():
+            counts[cls] += 1
+        return counts
+
+    def to_predictor(
+        self, threshold: Optional[int] = None
+    ) -> StaticEscapePredictor:
+        return StaticEscapePredictor(
+            classes=dict(self.sites),
+            threshold=self.threshold if threshold is None else threshold,
+            program=self.program,
+        )
+
+    # -- serialization (deterministic, golden-file friendly) ----------
+
+    def to_dict(self) -> dict:
+        ordered = sorted(
+            self.sites.items(),
+            key=lambda item: (item[0][0], _size_sort_key(item[0][1])),
+        )
+        return {
+            "format": ESCAPE_FORMAT_NAME,
+            "version": ESCAPE_FORMAT_VERSION,
+            "program": self.program,
+            "capture_depth": self.capture_depth,
+            "threshold": self.threshold,
+            "files": list(self.files),
+            "truncated": self.truncated,
+            "summary": self.class_counts(),
+            "sites": [
+                {
+                    "chain": list(chain),
+                    "size": size,
+                    "class": cls,
+                }
+                for (chain, size), cls in ordered
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StaticEscapeDB":
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != ESCAPE_FORMAT_NAME
+        ):
+            raise ValueError(
+                f"not a {ESCAPE_FORMAT_NAME} database (format="
+                f"{data.get('format') if isinstance(data, dict) else data!r})"
+            )
+        sites: Dict[Tuple[Tuple[str, ...], Optional[int]], str] = {}
+        for entry in data.get("sites", ()):
+            sites[(tuple(entry["chain"]), entry["size"])] = entry["class"]
+        return cls(
+            program=data.get("program", ""),
+            files=tuple(data.get("files", ())),
+            capture_depth=int(data.get("capture_depth", CAPTURE_DEPTH)),
+            threshold=int(data.get("threshold", DEFAULT_THRESHOLD)),
+            truncated=bool(data.get("truncated", False)),
+            sites=sites,
+        )
+
+    @classmethod
+    def load(cls, path) -> "StaticEscapeDB":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def build_escape_db(
+    program: str,
+    source_root: Optional[Path] = None,
+    max_sites: int = DEFAULT_MAX_SITES,
+    threshold: int = DEFAULT_THRESHOLD,
+) -> StaticEscapeDB:
+    """Run the escape analysis over one program's sources.
+
+    The site space and size folding come from the same projection pass
+    that records the escape atoms, so the emitted keys match
+    :func:`repro.static.sitedb.build_static_db` exactly.
+    """
+    graph, scope, projector = _build_with_projector(
+        program, source_root, _EscapeCollector
+    )
+    sites, truncated = graph.enumerate_sites(max_sites=max_sites)
+    classified: Dict[Tuple[Tuple[str, ...], Optional[int]], str] = {}
+    for chain, size in sites:
+        classified[(chain, size)] = _classify_chain(
+            chain, size, projector.alloc_info, projector.result_info
+        )
+    return StaticEscapeDB(
+        program=program,
+        files=graph.files,
+        capture_depth=CAPTURE_DEPTH,
+        threshold=threshold,
+        truncated=truncated,
+        sites=classified,
+    )

@@ -36,9 +36,18 @@ enforce mechanically.  Each rule guards one of them:
     must push its frame.  Lambdas can never be traced, hence any
     allocation inside one trips the rule.
 
-Findings on a line containing ``# alloclint: disable=RXXX[,RYYY]`` are
-suppressed (and counted).  Severities are configurable per rule; the
-run fails (exit 1) when any finding at or above the fail level remains.
+``R005`` **useless-suppression** (everywhere) — an
+    ``alloclint: disable=RXXX`` pragma naming a rule that would not
+    have fired on that line is dead weight: it either outlived the code
+    it excused or never matched at all, and it silently masks any
+    future finding of that rule on the line.  Listing ``R005`` itself
+    in the same pragma suppresses the rule (deliberately kept
+    suppressions).
+
+Findings on a line carrying an ``alloclint: disable=RXXX[,RYYY]``
+comment are suppressed (and counted).  Severities are configurable per
+rule; the run fails (exit 1) when any finding at or above the fail
+level remains.
 """
 
 from __future__ import annotations
@@ -71,6 +80,8 @@ RULES: Dict[str, str] = {
             "pipeline module",
     "R004": "allocation wrapper is invisible to chain capture "
             "(not @traced)",
+    "R005": "suppression pragma names a rule that does not fire on "
+            "this line",
 }
 
 DEFAULT_SEVERITIES: Dict[str, str] = {
@@ -78,6 +89,7 @@ DEFAULT_SEVERITIES: Dict[str, str] = {
     "R002": "warning",
     "R003": "error",
     "R004": "warning",
+    "R005": "warning",
 }
 
 SEVERITY_LEVELS: Dict[str, int] = {"info": 0, "warning": 1, "error": 2}
@@ -86,19 +98,32 @@ _PRAGMA = re.compile(r"#\s*alloclint:\s*disable=([A-Z0-9,\s]+)")
 
 #: Module-path fragments selecting each rule's scope.
 _WORKLOAD_SCOPE = "repro/workloads/"
-_DETERMINISTIC_SCOPES = (
+
+#: Packages whose modules promise byte-identical output.  R003 covers
+#: *every* module under these prefixes, so a newly added module is in
+#: scope by default; opting one out takes an entry in the exclusion
+#: list below, not a narrower prefix.
+_DETERMINISTIC_PACKAGES = (
     "repro/analysis/",
     "repro/bench/",
     "repro/core/",
-    "repro/obs/attrib",
-    "repro/obs/diff",
-    "repro/obs/drift",
-    "repro/obs/html",
-    "repro/obs/windows",
-    "repro/runtime/shard",
-    "repro/runtime/stream",
+    "repro/obs/",
+    "repro/runtime/",
     "repro/static/",
 )
+
+#: Modules under a deterministic package that are allowed wall-clock
+#: reads wholesale.  Currently empty: the two sanctioned reads (bench
+#: provenance stamps) carry line pragmas instead, which R005 keeps
+#: honest.  Entries are path fragments like ``repro/obs/telemetry``.
+_DETERMINISTIC_EXCLUDE: Tuple[str, ...] = ()
+
+
+def _in_deterministic_scope(path: str) -> bool:
+    """Whether R003 applies to the module at ``path``."""
+    if any(fragment in path for fragment in _DETERMINISTIC_EXCLUDE):
+        return False
+    return any(prefix in path for prefix in _DETERMINISTIC_PACKAGES)
 
 _HEAP_CLASSES = ("TracedHeap", "StackTracedHeap")
 
@@ -189,8 +214,9 @@ class LintResult:
 # pragma handling
 
 
-def _pragma_lines(source: str) -> Dict[int, Set[str]]:
-    out: Dict[int, Set[str]] = {}
+def _pragma_lines(source: str) -> Dict[int, Tuple[Set[str], int]]:
+    """Line -> (suppressed rule ids, pragma column)."""
+    out: Dict[int, Tuple[Set[str], int]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _PRAGMA.search(text)
         if match:
@@ -199,8 +225,45 @@ def _pragma_lines(source: str) -> Dict[int, Set[str]]:
                 for part in match.group(1).split(",")
                 if part.strip()
             }
-            out[lineno] = rules
+            out[lineno] = (rules, match.start())
     return out
+
+
+# ---------------------------------------------------------------------------
+# R005 — useless suppressions
+
+
+def _check_useless_suppressions(
+    raw: Sequence[Tuple[str, int, int, str]],
+    pragmas: Dict[int, Tuple[Set[str], int]],
+) -> List[Tuple[str, int, int, str]]:
+    """Pragma entries whose rule produced no finding on their line.
+
+    ``R005`` itself is never checked: naming it in a pragma is the
+    opt-out for deliberately kept suppressions, so it is meaningful
+    whether or not it "fires".
+    """
+    fired: Dict[int, Set[str]] = {}
+    for rule, line, _col, _message in raw:
+        fired.setdefault(line, set()).add(rule)
+    found = []
+    for line in sorted(pragmas):
+        rules, col = pragmas[line]
+        for rule in sorted(rules - {"R005"}):
+            if rule in fired.get(line, ()):
+                continue
+            if rule in RULES:
+                message = (
+                    f"useless suppression: {rule} does not fire on this "
+                    f"line; drop it from the pragma"
+                )
+            else:
+                message = (
+                    f"useless suppression: {rule} is not an alloclint "
+                    f"rule"
+                )
+            found.append(("R005", line, col, message))
+    return found
 
 
 # ---------------------------------------------------------------------------
@@ -443,13 +506,14 @@ def lint_source(
         raw.extend(_check_heap_construction(path, tree))
         raw.extend(_check_untraced_wrappers(path, source))
     raw.extend(_check_leaks(path, tree))
-    if any(scope in path for scope in _DETERMINISTIC_SCOPES):
+    if _in_deterministic_scope(path):
         raw.extend(_check_nondeterminism(path, tree))
     pragmas = _pragma_lines(source)
+    raw.extend(_check_useless_suppressions(raw, pragmas))
     findings: List[Finding] = []
     suppressed = 0
     for rule, line, col, message in raw:
-        if rule in pragmas.get(line, ()):
+        if rule in pragmas.get(line, (frozenset(), 0))[0]:
             suppressed += 1
             continue
         findings.append(Finding(

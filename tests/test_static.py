@@ -94,7 +94,7 @@ class TestStaticExtraction:
 
 WORKLOAD_PATH = "src/repro/workloads/fake/work.py"
 PIPELINE_PATH = "src/repro/analysis/fake.py"
-NEUTRAL_PATH = "src/repro/obs/fake.py"
+NEUTRAL_PATH = "tools/fake.py"
 
 
 class TestLintRules:
@@ -223,7 +223,8 @@ class TestLintRules:
             "  # alloclint: disable=R002\n"
         )
         findings, suppressed = lint_source(WORKLOAD_PATH, source)
-        assert [f.rule for f in findings] == ["R004"]
+        # The unfired R002 entry now also trips useless-suppression.
+        assert [f.rule for f in findings] == ["R004", "R005"]
         assert suppressed == 0
 
     def test_severity_override(self):
@@ -236,6 +237,80 @@ class TestLintRules:
         findings, _ = lint_source(WORKLOAD_PATH, source, config)
         assert findings[0].severity == "info"
         assert not config.fails(findings[0])
+
+    def test_r005_useless_suppression(self):
+        source = "def f(self):\n    x = 1  # alloclint: disable=R002\n"
+        findings, suppressed = lint_source(NEUTRAL_PATH, source)
+        assert [f.rule for f in findings] == ["R005"]
+        assert "R002" in findings[0].message
+        assert findings[0].line == 2
+        assert suppressed == 0
+
+    def test_r005_quiet_when_suppression_fires(self):
+        source = (
+            "class W:\n"
+            "    def xalloc(self, n):\n"
+            "        return self.heap.malloc(n)"
+            "  # alloclint: disable=R004\n"
+        )
+        findings, suppressed = lint_source(WORKLOAD_PATH, source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_r005_unknown_rule_reported(self):
+        source = "def f(self):\n    x = 1  # alloclint: disable=R999\n"
+        findings, _ = lint_source(NEUTRAL_PATH, source)
+        assert [f.rule for f in findings] == ["R005"]
+        assert "not an alloclint rule" in findings[0].message
+
+    def test_r005_self_suppressible(self):
+        source = (
+            "def f(self):\n"
+            "    x = 1  # alloclint: disable=R002,R005\n"
+        )
+        findings, suppressed = lint_source(NEUTRAL_PATH, source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_r005_in_sarif_rule_metadata(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(self):\n    x = 1  # alloclint: disable=R002\n",
+            encoding="utf-8",
+        )
+        sarif = tmp_path / "out.sarif"
+        main(["lint", str(target), "--sarif-out", str(sarif)])
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text(encoding="utf-8"))
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "R005" in rule_ids
+        results = {r["ruleId"] for r in run["results"]}
+        assert "R005" in results
+
+    def test_r003_scope_derived_from_package_prefixes(self):
+        # A module newly added under any deterministic package is in
+        # scope by default — no per-module list to keep current.
+        source = "import time\ndef stamp():\n    return time.time()\n"
+        for prefix in ("analysis", "bench", "core", "obs", "runtime",
+                       "static"):
+            path = f"src/repro/{prefix}/brand_new_module.py"
+            findings, _ = lint_source(path, source)
+            assert [f.rule for f in findings] == ["R003"], path
+
+    def test_r003_exclusion_list_opts_out(self, monkeypatch):
+        from repro.static import lint as lint_mod
+
+        monkeypatch.setattr(
+            lint_mod, "_DETERMINISTIC_EXCLUDE", ("repro/obs/wallclock",)
+        )
+        source = "import time\ndef stamp():\n    return time.time()\n"
+        findings, _ = lint_source("src/repro/obs/wallclock.py", source)
+        assert findings == []
+
+    def test_shipped_tree_has_no_useless_suppressions(self):
+        # Every pragma in the tree must still be load-bearing.
+        assert main(["lint", "src"]) == 0
 
 
 # ---------------------------------------------------------------------------
