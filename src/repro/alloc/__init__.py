@@ -35,6 +35,17 @@ from repro.alloc.costs import (
 )
 from repro.alloc.firstfit import FirstFitAllocator
 from repro.alloc.multiarena import MultiArenaAllocator
+from repro.alloc.spec import (
+    ALLOCATOR_KINDS,
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    PAPER_DEFAULT_SPEC,
+    AllocatorSpec,
+    SpecError,
+    allocator_kinds,
+    build_allocator,
+    register_kind,
+)
 
 __all__ = [
     "AddressSpace",
@@ -57,4 +68,13 @@ __all__ = [
     "firstfit_cost",
     "FirstFitAllocator",
     "MultiArenaAllocator",
+    "ALLOCATOR_KINDS",
+    "BSD_SPEC",
+    "FIRSTFIT_SPEC",
+    "PAPER_DEFAULT_SPEC",
+    "AllocatorSpec",
+    "SpecError",
+    "allocator_kinds",
+    "build_allocator",
+    "register_kind",
 ]

@@ -20,6 +20,7 @@ from repro.analysis.simulate import (
     simulate_arena,
     simulate_bsd,
     simulate_firstfit,
+    simulate_spec,
 )
 from repro.analysis.compare import ProfileDiff, diff_traces, render_diff
 from repro.analysis.oracle import simulate_arena_oracle
@@ -65,6 +66,7 @@ __all__ = [
     "simulate_arena",
     "simulate_bsd",
     "simulate_firstfit",
+    "simulate_spec",
     "ProfileDiff",
     "diff_traces",
     "render_diff",

@@ -26,8 +26,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.alloc.arena import DEFAULT_ARENA_SIZE, DEFAULT_NUM_ARENAS
+from repro.alloc.spec import AllocatorSpec
 from repro.analysis.oracle import simulate_arena_oracle
-from repro.analysis.simulate import simulate_arena
+from repro.analysis.simulate import simulate_spec
 from repro.core.predictor import (
     DEFAULT_THRESHOLD,
     PredictionEvaluation,
@@ -147,12 +148,16 @@ def escape_eval(
                 static_pred, store.source(program, "test"))
             trained_eval = evaluate(
                 trained_pred, store.source(program, "test"))
-            static_sim = simulate_arena(
-                store.source(program, "test"), static_pred,
-                num_arenas=num_arenas, arena_size=arena_size)
-            trained_sim = simulate_arena(
-                store.source(program, "test"), trained_pred,
-                num_arenas=num_arenas, arena_size=arena_size)
+            static_spec = AllocatorSpec(
+                num_arenas=num_arenas, arena_size=arena_size,
+                threshold=threshold, predictor="static")
+            trained_spec = AllocatorSpec(
+                num_arenas=num_arenas, arena_size=arena_size,
+                threshold=threshold)
+            static_sim = simulate_spec(
+                store.source(program, "test"), static_spec, static_pred)
+            trained_sim = simulate_spec(
+                store.source(program, "test"), trained_spec, trained_pred)
             oracle_sim = simulate_arena_oracle(
                 store.trace(program, "test"), threshold=threshold,
                 num_arenas=num_arenas, arena_size=arena_size)

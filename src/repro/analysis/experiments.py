@@ -155,6 +155,7 @@ class TraceStore:
         self._site_predictors: Dict[tuple, SitePredictor] = {}
         self._cce_predictors: Dict[tuple, CCEPredictor] = {}
         self._static_predictors: Dict[tuple, "StaticEscapePredictor"] = {}
+        self._multiclass_predictors: Dict[tuple, object] = {}
 
     @property
     def programs(self) -> list:
@@ -271,12 +272,14 @@ class TraceStore:
         program: str,
         train_dataset: str = TRAIN_DATASET,
         threshold: int = DEFAULT_THRESHOLD,
+        size_rounding: int = TRUE_PREDICTION_ROUNDING,
     ) -> CCEPredictor:
         """A (cached) call-chain-encryption predictor."""
-        key = (program, train_dataset, threshold)
+        key = (program, train_dataset, threshold, size_rounding)
         if key not in self._cce_predictors:
             self._cce_predictors[key] = train_cce_predictor(
-                self.source(program, train_dataset), threshold=threshold
+                self.source(program, train_dataset), threshold=threshold,
+                size_rounding=size_rounding,
             )
         return self._cce_predictors[key]
 
@@ -302,6 +305,52 @@ class TraceStore:
     def self_predictor(self, program: str, **kwargs) -> SitePredictor:
         """A predictor trained on the evaluation execution itself."""
         return self.predictor(program, train_dataset=EVAL_DATASET, **kwargs)
+
+    def predictor_for(self, program: str, spec):
+        """Resolve the predictor an :class:`~repro.alloc.AllocatorSpec`
+        asks for, ready to pass to
+        :func:`~repro.alloc.spec.build_allocator`.
+
+        The spec's ``predictor`` field names the resolution mode
+        (``trained``/``self``/``static``/``cce``/``none``) and its
+        prediction parameters (``threshold``, ``chain_length``,
+        ``size_rounding``, ``class_thresholds``) pick the exact predictor
+        — every path lands in this store's caches, so a search over many
+        specs trains each distinct predictor once.
+        """
+        mode = spec.predictor
+        if mode == "none" or spec.kind in ("firstfit", "bsd"):
+            return None
+        train_dataset = EVAL_DATASET if mode == "self" else TRAIN_DATASET
+        if spec.kind == "multiarena":
+            from repro.core.multiclass import train_multiclass_predictor
+
+            key = (program, train_dataset, spec.class_thresholds,
+                   spec.chain_length, spec.size_rounding)
+            if key not in self._multiclass_predictors:
+                self._multiclass_predictors[key] = (
+                    train_multiclass_predictor(
+                        self.trace(program, train_dataset),
+                        thresholds=spec.class_thresholds,
+                        chain_length=spec.chain_length,
+                        size_rounding=spec.size_rounding,
+                    )
+                )
+            return self._multiclass_predictors[key]
+        if mode == "static":
+            return self.static_predictor(program, threshold=spec.threshold)
+        if mode == "cce":
+            return self.cce_predictor(
+                program, threshold=spec.threshold,
+                size_rounding=spec.size_rounding,
+            )
+        return self.predictor(
+            program,
+            train_dataset=train_dataset,
+            threshold=spec.threshold,
+            chain_length=spec.chain_length,
+            size_rounding=spec.size_rounding,
+        )
 
     # ------------------------------------------------------------------
     # Warming

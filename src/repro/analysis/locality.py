@@ -30,9 +30,12 @@ from typing import Dict, Optional, Union
 from repro.alloc.base import Allocator
 from repro.alloc.cache import CacheConfig, SetAssociativeCache
 from repro.core.predictor import LifetimePredictor
-from repro.alloc.arena import ArenaAllocator
-from repro.alloc.bsd import BsdAllocator
-from repro.alloc.firstfit import FirstFitAllocator
+from repro.alloc.spec import (
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    PAPER_DEFAULT_SPEC,
+    build_allocator,
+)
 from repro.runtime.events import Trace
 from repro.runtime.stream.protocol import (
     EV_ALLOC,
@@ -174,9 +177,9 @@ def compare_locality(
     them inside its 64 KB area.
     """
     source = as_event_source(trace)
-    firstfit = FirstFitAllocator()
-    bsd = BsdAllocator()
-    arena = ArenaAllocator(predictor)
+    firstfit = build_allocator(FIRSTFIT_SPEC)
+    bsd = build_allocator(BSD_SPEC)
+    arena = build_allocator(PAPER_DEFAULT_SPEC, predictor)
     if prefragment_holes:
         prefragment(firstfit, holes=prefragment_holes)
         prefragment(bsd, holes=prefragment_holes)

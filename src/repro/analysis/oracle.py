@@ -11,11 +11,8 @@ requiring no programmer annotations.
 
 from __future__ import annotations
 
-from repro.alloc.arena import (
-    DEFAULT_ARENA_SIZE,
-    DEFAULT_NUM_ARENAS,
-    ArenaAllocator,
-)
+from repro.alloc.arena import DEFAULT_ARENA_SIZE, DEFAULT_NUM_ARENAS
+from repro.alloc.spec import AllocatorSpec, build_allocator
 from repro.analysis.simulate import SimulationResult
 from repro.alloc.costs import DEFAULT_COST_MODEL, CostModel, arena_cost
 from repro.core.predictor import DEFAULT_THRESHOLD, LifetimePredictor
@@ -60,9 +57,10 @@ def simulate_arena_oracle(
     perfect allocator — could reach.
     """
     oracle = _OracleAnswer(threshold)
-    allocator = ArenaAllocator(
-        oracle, num_arenas=num_arenas, arena_size=arena_size
+    spec = AllocatorSpec(
+        num_arenas=num_arenas, arena_size=arena_size, threshold=threshold
     )
+    allocator = build_allocator(spec, oracle)
     addresses = {}
     for code in trace.raw_arrays()["events"]:
         tag = code & 3

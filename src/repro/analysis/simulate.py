@@ -15,13 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Union
 
-from repro.alloc.arena import (
-    DEFAULT_ARENA_SIZE,
-    DEFAULT_NUM_ARENAS,
-    ArenaAllocator,
-)
+from repro.alloc.arena import DEFAULT_ARENA_SIZE, DEFAULT_NUM_ARENAS
 from repro.alloc.base import Allocator, OpCounts
-from repro.alloc.bsd import BsdAllocator
 from repro.alloc.costs import (
     DEFAULT_COST_MODEL,
     AllocatorCost,
@@ -30,7 +25,12 @@ from repro.alloc.costs import (
     bsd_cost,
     firstfit_cost,
 )
-from repro.alloc.firstfit import FirstFitAllocator
+from repro.alloc.spec import (
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    AllocatorSpec,
+    build_allocator,
+)
 from repro.core.predictor import LifetimePredictor
 from repro.obs.spans import TRACER
 from repro.runtime.events import Trace
@@ -47,6 +47,7 @@ if TYPE_CHECKING:
 __all__ = [
     "SimulationResult",
     "replay",
+    "simulate_spec",
     "simulate_firstfit",
     "simulate_bsd",
     "simulate_arena",
@@ -144,23 +145,82 @@ def replay(trace: Union[Trace, EventSource], allocator: Allocator,
         telemetry.finish()
 
 
-def simulate_firstfit(
-    trace: Union[Trace, EventSource], model: CostModel = DEFAULT_COST_MODEL,
+def _result_name(spec: AllocatorSpec) -> str:
+    """The result's allocator label (kept stable for every renderer)."""
+    if spec.kind == "firstfit":
+        return "first-fit"
+    if spec.kind == "bsd":
+        return "bsd"
+    if spec.kind == "multiarena":
+        return f"multi-arena ({spec.strategy})"
+    return f"arena ({spec.strategy})"
+
+
+def simulate_spec(
+    trace: Union[Trace, EventSource],
+    spec: AllocatorSpec,
+    predictor: Optional[LifetimePredictor] = None,
+    model: CostModel = DEFAULT_COST_MODEL,
     telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
-    """Replay a trace against the Knuth first-fit baseline."""
+    """Replay a trace against the allocator an :class:`AllocatorSpec`
+    describes.
+
+    This is the single construction path: the allocator comes out of
+    :func:`~repro.alloc.spec.build_allocator`, so every consumer —
+    tables, bench, stats, the design-space search — replays exactly the
+    configuration the spec hashes to.  ``predictor`` is the resolved
+    predictor object for the arena kinds (see
+    :meth:`~repro.analysis.experiments.TraceStore.predictor_for`).
+    """
     source = as_event_source(trace)
-    allocator = FirstFitAllocator()
+    allocator = build_allocator(spec, predictor)
     replay(source, allocator, telemetry=telemetry)
-    return SimulationResult(
-        allocator="first-fit",
+    name = _result_name(spec)
+    common = dict(
+        allocator=name,
         program=source.header.program,
         dataset=source.header.dataset,
         max_heap_size=allocator.max_heap_size,
         final_live_bytes=allocator.live_bytes,
         ops=allocator.ops.snapshot(),
-        cost=firstfit_cost(allocator.ops, model),
     )
+    if spec.kind == "firstfit":
+        return SimulationResult(
+            cost=firstfit_cost(allocator.ops, model), **common
+        )
+    if spec.kind == "bsd":
+        return SimulationResult(cost=bsd_cost(allocator.ops, model), **common)
+    cost = arena_cost(
+        allocator.ops,
+        allocator.general.ops,
+        strategy=spec.strategy,
+        total_calls=source.summary.total_calls,
+        model=model,
+    )
+    area_size = (
+        allocator.total_area_size if spec.kind == "multiarena"
+        else allocator.arena_area_size
+    )
+    return SimulationResult(
+        cost=cost,
+        general_ops=allocator.general.ops.snapshot(),
+        arena_allocs=allocator.ops.arena_allocs,
+        arena_bytes=allocator.arena_bytes,
+        general_allocs=allocator.ops.allocs - allocator.ops.arena_allocs,
+        general_bytes=allocator.general_bytes,
+        arena_area_size=area_size,
+        **common,
+    )
+
+
+def simulate_firstfit(
+    trace: Union[Trace, EventSource], model: CostModel = DEFAULT_COST_MODEL,
+    telemetry: Optional["Telemetry"] = None,
+) -> SimulationResult:
+    """Replay a trace against the Knuth first-fit baseline."""
+    return simulate_spec(trace, FIRSTFIT_SPEC, model=model,
+                         telemetry=telemetry)
 
 
 def simulate_bsd(
@@ -168,18 +228,7 @@ def simulate_bsd(
     telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Replay a trace against the BSD power-of-two baseline."""
-    source = as_event_source(trace)
-    allocator = BsdAllocator()
-    replay(source, allocator, telemetry=telemetry)
-    return SimulationResult(
-        allocator="bsd",
-        program=source.header.program,
-        dataset=source.header.dataset,
-        max_heap_size=allocator.max_heap_size,
-        final_live_bytes=allocator.live_bytes,
-        ops=allocator.ops.snapshot(),
-        cost=bsd_cost(allocator.ops, model),
-    )
+    return simulate_spec(trace, BSD_SPEC, model=model, telemetry=telemetry)
 
 
 def simulate_arena(
@@ -197,33 +246,12 @@ def simulate_arena(
     ``"cce"``); it does not change placement, matching the paper, where
     both Table 9 arena columns describe the same allocation behaviour.
     """
-    source = as_event_source(trace)
-    allocator = ArenaAllocator(
-        predictor, num_arenas=num_arenas, arena_size=arena_size
+    spec = AllocatorSpec(
+        num_arenas=num_arenas, arena_size=arena_size, strategy=strategy,
+        threshold=getattr(predictor, "threshold", None) or 32 * 1024,
     )
-    replay(source, allocator, telemetry=telemetry)
-    cost = arena_cost(
-        allocator.ops,
-        allocator.general.ops,
-        strategy=strategy,
-        total_calls=source.summary.total_calls,
-        model=model,
-    )
-    return SimulationResult(
-        allocator=f"arena ({strategy})",
-        program=source.header.program,
-        dataset=source.header.dataset,
-        max_heap_size=allocator.max_heap_size,
-        final_live_bytes=allocator.live_bytes,
-        ops=allocator.ops.snapshot(),
-        cost=cost,
-        general_ops=allocator.general.ops.snapshot(),
-        arena_allocs=allocator.ops.arena_allocs,
-        arena_bytes=allocator.arena_bytes,
-        general_allocs=allocator.ops.allocs - allocator.ops.arena_allocs,
-        general_bytes=allocator.general_bytes,
-        arena_area_size=allocator.arena_area_size,
-    )
+    return simulate_spec(trace, spec, predictor=predictor, model=model,
+                         telemetry=telemetry)
 
 
 def _pct(numerator: int, denominator: int) -> float:

@@ -32,13 +32,14 @@ from repro.runtime.stream.protocol import (
     iter_object_lifetimes,
     stream_live_stats,
 )
-from repro.analysis.experiments import EVAL_DATASET, TRAIN_DATASET, TraceStore
-from repro.analysis.simulate import (
-    SimulationResult,
-    simulate_arena,
-    simulate_bsd,
-    simulate_firstfit,
+from repro.alloc.spec import (
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    PAPER_DEFAULT_SPEC,
+    AllocatorSpec,
 )
+from repro.analysis.experiments import EVAL_DATASET, TRAIN_DATASET, TraceStore
+from repro.analysis.simulate import SimulationResult, simulate_spec
 
 __all__ = [
     "Table1Row", "table1",
@@ -362,10 +363,12 @@ class Table7Row:
 @traced("table.table7", cat="table")
 def table7(store: TraceStore) -> List[Table7Row]:
     """Arena capture fractions, simulating true prediction."""
+    spec = PAPER_DEFAULT_SPEC
     rows = []
     for program in store.programs:
-        result = simulate_arena(
-            store.source(program, EVAL_DATASET), store.predictor(program)
+        result = simulate_spec(
+            store.source(program, EVAL_DATASET), spec,
+            store.predictor_for(program, spec),
         )
         rows.append(
             Table7Row(
@@ -404,12 +407,18 @@ class Table8Row:
 @traced("table.table8", cat="table")
 def table8(store: TraceStore) -> List[Table8Row]:
     """Maximum heap sizes under first-fit and arena allocation."""
+    self_spec = AllocatorSpec(predictor="self")
+    true_spec = PAPER_DEFAULT_SPEC
     rows = []
     for program in store.programs:
         source = store.source(program, EVAL_DATASET)
-        firstfit = simulate_firstfit(source)
-        self_arena = simulate_arena(source, store.self_predictor(program))
-        true_arena = simulate_arena(source, store.predictor(program))
+        firstfit = simulate_spec(source, FIRSTFIT_SPEC)
+        self_arena = simulate_spec(
+            source, self_spec, store.predictor_for(program, self_spec)
+        )
+        true_arena = simulate_spec(
+            source, true_spec, store.predictor_for(program, true_spec)
+        )
         rows.append(
             Table8Row(
                 program=program,
@@ -444,14 +453,16 @@ class Table9Row:
 @traced("table.table9", cat="table")
 def table9(store: TraceStore) -> List[Table9Row]:
     """Average instruction costs, true prediction for the arena rows."""
+    len4_spec = PAPER_DEFAULT_SPEC
+    cce_spec = AllocatorSpec(strategy="cce")
     rows = []
     for program in store.programs:
         source = store.source(program, EVAL_DATASET)
-        predictor = store.predictor(program)
-        bsd = simulate_bsd(source)
-        firstfit = simulate_firstfit(source)
-        len4 = simulate_arena(source, predictor, strategy="len4")
-        cce = simulate_arena(source, predictor, strategy="cce")
+        predictor = store.predictor_for(program, len4_spec)
+        bsd = simulate_spec(source, BSD_SPEC)
+        firstfit = simulate_spec(source, FIRSTFIT_SPEC)
+        len4 = simulate_spec(source, len4_spec, predictor)
+        cce = simulate_spec(source, cce_spec, predictor)
         rows.append(
             Table9Row(
                 program=program,

@@ -22,22 +22,31 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.simulate import (
-    SimulationResult,
-    simulate_arena,
-    simulate_bsd,
-    simulate_firstfit,
+from repro.alloc.spec import (
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    PAPER_DEFAULT_SPEC,
+    AllocatorSpec,
 )
+from repro.analysis.simulate import SimulationResult, simulate_spec
 from repro.bench.provenance import collect_provenance
 from repro.bench.record import BenchRecord, BenchSession
 from repro.obs.metrics import Metrics, peak_rss_kb
 from repro.obs.spans import TRACER
 from repro.obs.telemetry import MISPREDICTION_KINDS, Telemetry
 
-__all__ = ["BENCH_ALLOCATORS", "DEFAULT_REPEATS", "run_suite", "run_session"]
+__all__ = ["BENCH_ALLOCATORS", "BENCH_SPECS", "DEFAULT_REPEATS",
+           "run_suite", "run_session"]
 
 #: The allocators the suite replays, in record order.
 BENCH_ALLOCATORS = ("arena", "firstfit", "bsd")
+
+#: Suite name -> the :class:`AllocatorSpec` it replays.
+BENCH_SPECS: Dict[str, AllocatorSpec] = {
+    "arena": PAPER_DEFAULT_SPEC,
+    "firstfit": FIRSTFIT_SPEC,
+    "bsd": BSD_SPEC,
+}
 
 #: Default min-of-k repeat count.
 DEFAULT_REPEATS = 3
@@ -59,18 +68,33 @@ def _resolve_trace(store, program: str):
     return store.trace(program, _DATASET)
 
 
+def _resolve_predictor(store, program: str, spec: AllocatorSpec):
+    """The spec's predictor through the store's resolution surface.
+
+    A real :class:`TraceStore` resolves by spec
+    (:meth:`~repro.analysis.experiments.TraceStore.predictor_for`); the
+    minimal fakes in tests only expose ``predictor(program)``, which is
+    exactly the default-spec answer.
+    """
+    if spec.predictor == "none":
+        return None
+    resolver = getattr(store, "predictor_for", None)
+    if resolver is not None:
+        return resolver(program, spec)
+    return store.predictor(program)
+
+
 def _replay_once(
     store, program: str, allocator: str, telemetry: Telemetry
 ) -> SimulationResult:
     trace = _resolve_trace(store, program)
-    if allocator == "arena":
-        predictor = store.predictor(program)
-        return simulate_arena(trace, predictor, telemetry=telemetry)
-    if allocator == "firstfit":
-        return simulate_firstfit(trace, telemetry=telemetry)
-    if allocator == "bsd":
-        return simulate_bsd(trace, telemetry=telemetry)
-    raise ValueError(f"unknown allocator {allocator!r}")
+    spec = BENCH_SPECS.get(allocator)
+    if spec is None:
+        raise ValueError(f"unknown allocator {allocator!r}")
+    return simulate_spec(
+        trace, spec, _resolve_predictor(store, program, spec),
+        telemetry=telemetry,
+    )
 
 
 def run_suite(
@@ -96,7 +120,7 @@ def run_suite(
         # Resolve the trace and predictor outside the timed replays.
         _resolve_trace(store, program)
         if "arena" in allocators:
-            store.predictor(program)
+            _resolve_predictor(store, program, BENCH_SPECS["arena"])
         for allocator in allocators:
             name = f"replay/{program}/{allocator}"
             with TRACER.span(f"bench.{name}", cat="bench",

@@ -1,0 +1,124 @@
+"""Predictor command family: train, score, and derive site databases.
+
+``profile`` trains a short-lived site database from a trace;
+``predict`` scores a database against a trace (Table 4's columns);
+``predict-static`` runs the profile-free escape analysis and emits a
+static predictor database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.database import load_predictor, save_predictor
+from repro.core.predictor import (
+    DEFAULT_THRESHOLD,
+    TRUE_PREDICTION_ROUNDING,
+    evaluate,
+    train_site_predictor,
+)
+from repro.core.sites import FULL_CHAIN
+from repro.runtime.tracefile import load_trace
+from repro.static.escape import build_escape_db
+from repro.workloads.registry import PROGRAM_ORDER
+
+__all__ = ["register"]
+
+
+def register(sub) -> None:
+    profile = sub.add_parser(
+        "profile", help="train a short-lived site database from a trace"
+    )
+    profile.add_argument("trace", help="trace file from `trace`")
+    profile.add_argument("-o", "--output", required=True,
+                         help="site-database file")
+    profile.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                         help="short-lived cutoff in bytes (default 32768)")
+    profile.add_argument("--chain-length", type=int, default=0,
+                         help="sub-chain length; 0 = full chain (default)")
+    profile.add_argument("--rounding", type=int,
+                         default=TRUE_PREDICTION_ROUNDING,
+                         help="size rounding in bytes (default 4)")
+    profile.set_defaults(handler=_cmd_profile)
+
+    predict = sub.add_parser(
+        "predict", help="score a site database against a trace"
+    )
+    predict.add_argument("sites", help="site-database file from `profile`")
+    predict.add_argument("trace", help="trace file to score against")
+    predict.set_defaults(handler=_cmd_predict)
+
+    predict_static = sub.add_parser(
+        "predict-static",
+        help="derive a profile-free site database by escape analysis",
+    )
+    predict_static.add_argument("program", choices=PROGRAM_ORDER,
+                                help="workload whose sources to analyze")
+    predict_static.add_argument("-o", "--output", default=None,
+                                help="write the static escape database "
+                                     "here (loadable by simulate --sites)")
+    predict_static.add_argument("--source-root", metavar="DIR", default=None,
+                                help="analyze workload sources under DIR "
+                                     "instead of the installed tree")
+    predict_static.add_argument("--threshold", type=int,
+                                default=DEFAULT_THRESHOLD,
+                                help="short-lived cutoff the emitted "
+                                     "predictor claims (default 32768)")
+    predict_static.add_argument("--json", action="store_true",
+                                help="print the full database document "
+                                     "instead of the summary")
+    predict_static.set_defaults(handler=_cmd_predict_static)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    chain_length = FULL_CHAIN if args.chain_length == 0 else args.chain_length
+    predictor = train_site_predictor(
+        trace,
+        threshold=args.threshold,
+        chain_length=chain_length,
+        size_rounding=args.rounding,
+    )
+    save_predictor(predictor, args.output)
+    print(
+        f"{trace.program}/{trace.dataset}: {predictor.site_count} "
+        f"short-lived sites (threshold {args.threshold}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    predictor = load_predictor(args.sites)
+    trace = load_trace(args.trace)
+    result = evaluate(predictor, trace)
+    print(f"program:            {trace.program}/{trace.dataset}")
+    print(f"total bytes:        {result.total_bytes}")
+    print(f"actual short-lived: {result.actual_pct:.1f}%")
+    print(f"predicted:          {result.predicted_pct:.1f}%")
+    print(f"error bytes:        {result.error_pct:.2f}%")
+    print(f"sites used:         {result.sites_used}/{result.total_sites}")
+    print(f"new heap refs:      {result.new_ref_pct:.1f}%")
+    return 0
+
+
+def _cmd_predict_static(args: argparse.Namespace) -> int:
+    source_root = Path(args.source_root) if args.source_root else None
+    db = build_escape_db(args.program, source_root=source_root,
+                         threshold=args.threshold)
+    if args.output:
+        db.save(args.output)
+        print(f"static escape DB -> {args.output}", file=sys.stderr)
+    if args.json:
+        print(db.to_json(), end="")
+        return 0
+    counts = db.class_counts()
+    truncated = " (truncated)" if db.truncated else ""
+    print(f"program:   {db.program}")
+    print(f"files:     {len(db.files)}")
+    print(f"sites:     {len(db.sites)}{truncated}")
+    print(f"short:     {counts['short']}")
+    print(f"escaping:  {counts['escaping']}")
+    print(f"unknown:   {counts['unknown']}")
+    return 0

@@ -1,0 +1,224 @@
+"""Static-analysis command family: ``lint`` and ``audit-sites``.
+
+``lint`` runs the alloclint contract rules and ``audit-sites`` diffs
+static allocation sites against the trace store or a saved site
+database (see :mod:`repro.static` and DESIGN.md §9).  Both use exit
+codes 0/1/2 for clean/findings/error so CI can gate on them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cli._options import (
+    _add_store_options,
+    _make_store,
+    _write_report,
+)
+from repro.core.database import DatabaseFormatError, load_predictor
+from repro.obs.spans import TRACER
+from repro.runtime.heap import HeapError
+from repro.runtime.tracefile import TraceFormatError
+from repro.static import (
+    AuditError,
+    StaticAnalysisError,
+    StaticDBFormatError,
+    audit_predictor_file,
+    audit_trace,
+    build_static_db,
+)
+from repro.static.lint import (
+    DEFAULT_SEVERITIES,
+    RULES,
+    SEVERITY_LEVELS,
+    LintConfig,
+    lint_paths,
+)
+from repro.static.reporters import (
+    render_audit_json,
+    render_audit_text,
+    render_lint_json,
+    render_lint_sarif,
+    render_lint_text,
+)
+from repro.workloads.registry import PROGRAM_ORDER
+
+__all__ = ["register"]
+
+
+def register(sub) -> None:
+    lint = sub.add_parser(
+        "lint",
+        help="alloclint: check the repo contract rules (R001-R004)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", help="report format (default text)")
+    lint.add_argument("-o", "--output", metavar="PATH", default=None,
+                      help="write the report here instead of stdout")
+    lint.add_argument("--sarif-out", metavar="PATH", default=None,
+                      help="additionally write a SARIF report to PATH "
+                           "(CI artifact)")
+    lint.add_argument("--severity", action="append", metavar="RULE=LEVEL",
+                      default=None,
+                      help="override a rule's severity, e.g. R002=info "
+                           "(levels: info, warning, error; repeatable)")
+    lint.add_argument("--fail-level", choices=sorted(SEVERITY_LEVELS),
+                      default="warning",
+                      help="lowest severity that fails the run "
+                           "(default warning)")
+    lint.set_defaults(handler=_cmd_lint)
+
+    audit = sub.add_parser(
+        "audit-sites",
+        help="diff static allocation sites against traces or a site DB",
+    )
+    audit.add_argument("--programs", nargs="+", choices=PROGRAM_ORDER,
+                       default=None, metavar="PROG",
+                       help="restrict to these programs (default: all)")
+    audit.add_argument("--dataset", default="train",
+                       help="dataset to trace for the dynamic side "
+                            "(default train)")
+    audit.add_argument("--sites-db", metavar="PATH", default=None,
+                       help="audit this saved predictor database instead "
+                            "of tracing (site-kind databases only)")
+    audit.add_argument("--source-root", metavar="DIR", default=None,
+                       help="analyze workload sources under DIR instead "
+                            "of the installed tree (drift testing)")
+    audit.add_argument("--static-out", metavar="PATH", default=None,
+                       help="also write the static site database(s): a "
+                            ".json file for a single program, else a "
+                            "directory")
+    audit.add_argument("--json", action="store_true",
+                       help="print the machine-readable audit instead of "
+                            "the text report")
+    audit.add_argument("--max-unexercised", type=int, default=10,
+                       metavar="N",
+                       help="unexercised sites to list per program in the "
+                            "text report; -1 for all (default 10)")
+    _add_store_options(audit)
+    audit.set_defaults(handler=_cmd_audit_sites)
+
+
+def _parse_severities(specs: Optional[List[str]]) -> dict:
+    severities = dict(DEFAULT_SEVERITIES)
+    for spec in specs or []:
+        rule, sep, level = spec.partition("=")
+        if not sep or rule not in RULES or level not in SEVERITY_LEVELS:
+            raise ValueError(
+                f"bad --severity {spec!r}: expected RULE=LEVEL with RULE in "
+                f"{sorted(RULES)} and LEVEL in {sorted(SEVERITY_LEVELS)}"
+            )
+        severities[rule] = level
+    return severities
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lint owns its full 0/1/2 exit-code contract, so every failure mode
+    # (including ones main() would map to 1) is converted to 2 here.
+    try:
+        config = LintConfig(
+            severities=_parse_severities(args.severity),
+            fail_level=args.fail_level,
+        )
+        with TRACER.span("lint.scan", cat="static"):
+            result = lint_paths([Path(p) for p in args.paths], config)
+        renderer = {
+            "text": render_lint_text,
+            "json": render_lint_json,
+            "sarif": render_lint_sarif,
+        }[args.format]
+        report = renderer(result, config)
+        if args.output:
+            _write_report(args.output, report, "lint report")
+        else:
+            print(report, end="")
+        if args.sarif_out:
+            _write_report(
+                args.sarif_out, render_lint_sarif(result, config), "sarif"
+            )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.errors:
+        return 2
+    return 1 if result.failing(config) else 0
+
+
+def _write_static_dbs(path: str, dbs: list) -> None:
+    out = Path(path)
+    if len(dbs) == 1 and out.suffix == ".json":
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        dbs[0].save(out)
+        print(f"static sites: {out}", file=sys.stderr)
+        return
+    out.mkdir(parents=True, exist_ok=True)
+    for db in dbs:
+        target = out / f"{db.program}_static_sites.json"
+        db.save(target)
+        print(f"static sites: {target}", file=sys.stderr)
+
+
+def _cmd_audit_sites(args: argparse.Namespace) -> int:
+    # Same 0/1/2 contract as lint: any failure to audit is exit 2, so CI
+    # can distinguish "drift found" (1) from "audit broken" (2).
+    try:
+        source_root = (
+            Path(args.source_root) if args.source_root is not None else None
+        )
+        audits = []
+        dbs = []
+        if args.sites_db is not None:
+            if args.programs is not None and len(args.programs) != 1:
+                raise ValueError("--sites-db audits exactly one program")
+            if args.programs:
+                program = args.programs[0]
+            else:
+                program = load_predictor(args.sites_db).program
+                if program not in PROGRAM_ORDER:
+                    raise ValueError(
+                        f"cannot infer a workload from predictor program "
+                        f"{program!r}; pass --programs"
+                    )
+            with TRACER.span("audit.static", cat="static", program=program):
+                db = build_static_db(program, source_root)
+            dbs.append(db)
+            with TRACER.span("audit.diff", cat="static", program=program):
+                audits.append(audit_predictor_file(db, args.sites_db))
+        else:
+            for program in args.programs or PROGRAM_ORDER:
+                with TRACER.span(
+                    "audit.static", cat="static", program=program
+                ):
+                    db = build_static_db(program, source_root)
+                dbs.append(db)
+                store = _make_store(args)
+                with TRACER.span(
+                    "audit.trace", cat="static", program=program
+                ):
+                    trace = store.trace(program, args.dataset)
+                with TRACER.span(
+                    "audit.diff", cat="static", program=program
+                ):
+                    audits.append(audit_trace(
+                        db, trace,
+                        f"trace:{args.dataset}@scale={args.scale:g}",
+                    ))
+        if args.static_out:
+            _write_static_dbs(args.static_out, dbs)
+        if args.json:
+            print(render_audit_json(audits), end="")
+        else:
+            limit = None if args.max_unexercised < 0 else args.max_unexercised
+            print(render_audit_text(audits, max_unexercised=limit), end="")
+    except (StaticAnalysisError, StaticDBFormatError, AuditError,
+            DatabaseFormatError, TraceFormatError, HeapError, OSError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if all(audit.ok for audit in audits) else 1

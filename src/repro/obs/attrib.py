@@ -67,6 +67,7 @@ __all__ = [
     "AttributionFold",
     "AttributionProfile",
     "attribute_sites",
+    "profile_for_spec",
     "render_attrib",
     "export_attribution",
     "write_attrib_json",
@@ -348,12 +349,19 @@ class AttributionProfile:
         }
 
 
+def profile_for_spec(spec) -> str:
+    """The attribution profile an :class:`~repro.alloc.AllocatorSpec`
+    prices under (the arena kinds share the arena profile)."""
+    return "arena" if spec.kind in ("arena", "multiarena") else spec.kind
+
+
 def attribute_sites(
     trace,
     profile: str = "arena",
     predictor: Optional[LifetimePredictor] = None,
     threshold: Optional[int] = None,
     model: CostModel = DEFAULT_COST_MODEL,
+    spec=None,
 ) -> AttributionProfile:
     """Attribute one execution's costs per call chain.
 
@@ -364,7 +372,16 @@ def attribute_sites(
     ``shard_jobs > 1`` and otherwise folds the serial lifetime stream —
     so materialized, streamed, and ``--jobs N`` inputs produce the same
     profile field for field.
+
+    With ``spec`` (an :class:`~repro.alloc.AllocatorSpec`) the profile
+    and threshold come from the spec — the declarative path the search
+    service and spec-driven CLI commands use; explicit ``threshold``
+    still wins when both are given.
     """
+    if spec is not None:
+        profile = profile_for_spec(spec)
+        if threshold is None:
+            threshold = spec.threshold
     # Imported lazily, mirroring repro.core.predictor: the shard engine
     # imports repro.obs.spans, so a top-level import would tie the two
     # packages' initialization orders together.

@@ -14,7 +14,10 @@ emits.  It diffs two session files of the same kind:
   per-benchmark metrics, wall time informational;
 * **drift** reports (``windows`` / ``*.drift.json``) — per-site
   temporal-drift scores, so a site that *starts* drifting between two
-  runs gates the diff.
+  runs gates the diff;
+* **search** sessions (``SEARCH_<seq>.json``) — per-candidate objective
+  scores and raw metrics, so a code change that worsens any candidate's
+  score (or loses a candidate outright) gates the diff.
 
 The verdict contract mirrors :mod:`repro.bench.compare`: each metric has
 a *good direction* ("lower", "higher", "equal", or "info"), movements
@@ -138,14 +141,17 @@ def detect_kind(doc: Dict[str, Any]) -> str:
         return "attribution"
     if doc.get("kind") == "drift":
         return "drift"
+    if doc.get("kind") == "search":
+        return "search"
     if "records" in doc and "schema_version" in doc:
         return "bench"
     if "totals" in doc and "top_misprediction_sites" in doc:
         return "telemetry"
     raise ValueError(
         "unrecognized session document: expected an attribution export "
-        "(kind=attribution), a drift report (kind=drift), a telemetry "
-        "summary (totals + top_misprediction_sites), or a bench session "
+        "(kind=attribution), a drift report (kind=drift), a search "
+        "session (kind=search), a telemetry summary (totals + "
+        "top_misprediction_sites), or a bench session "
         "(records + schema_version)"
     )
 
@@ -201,6 +207,16 @@ _DRIFT_DIRECTIONS = {
     "drifting_sites": "lower",
     # objects/short_fraction/sites_scored describe the workload and the
     # scoring coverage, not predictor health — informational.
+}
+
+_SEARCH_DIRECTIONS = {
+    "score": "lower",
+    "total_instr": "lower",
+    "max_heap_size": "lower",
+    "frag_byte_time": "lower",
+    # rank follows from the scores (double-gating it would report every
+    # score movement twice) and the ratios follow from the metrics and
+    # the baseline — informational.
 }
 
 Entries = Dict[str, Dict[str, float]]
@@ -287,11 +303,33 @@ def _normalize_drift(
     return identity, entries, _DRIFT_DIRECTIONS
 
 
+def _normalize_search(
+    doc: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Entries, Dict[str, str]]:
+    identity = {
+        key: doc.get(key)
+        for key in ("program", "dataset", "scale", "mode", "seed",
+                    "space_hash")
+    }
+    entries: Entries = {}
+    baseline = doc.get("baseline", {})
+    if isinstance(baseline, dict):
+        entries["baseline"] = _numeric_items(baseline.get("metrics", {}))
+    for candidate in doc.get("results", []):
+        key = "spec:" + str(candidate.get("spec_hash"))
+        metrics = _numeric_items(candidate.get("metrics", {}))
+        metrics["score"] = float(candidate.get("score", 0.0))
+        metrics["rank"] = float(candidate.get("rank", 0))
+        entries[key] = metrics
+    return identity, entries, _SEARCH_DIRECTIONS
+
+
 _NORMALIZERS = {
     "attribution": _normalize_attribution,
     "telemetry": _normalize_telemetry,
     "bench": _normalize_bench,
     "drift": _normalize_drift,
+    "search": _normalize_search,
 }
 
 

